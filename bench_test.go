@@ -1,0 +1,85 @@
+package rhythm
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (plus the DESIGN.md ablations). Each benchmark prints its
+// table once, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the full evaluation. Benchmarks share one experiment context:
+// each LC service is profiled and thresholded once (the paper's
+// "profile LC once" design) and the grid runs are cached across the
+// figures that share them, exactly as the paper reuses measurements
+// between Figs. 9-14.
+
+import (
+	"flag"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+var benchFull = flag.Bool("bench.full", false,
+	"run benchmarks at full evaluation scale instead of quick scale")
+
+var (
+	benchCtxOnce sync.Once
+	benchCtx     *ExperimentContext
+)
+
+func benchContext() *ExperimentContext {
+	benchCtxOnce.Do(func() {
+		benchCtx = NewExperiments(ExperimentOptions{Seed: 2020, Quick: !*benchFull})
+	})
+	return benchCtx
+}
+
+// benchExperiment runs one registered experiment b.N times and prints the
+// resulting table once.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	ctx := benchContext()
+	var last *ExperimentTable
+	for i := 0; i < b.N; i++ {
+		tab, err := ctx.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = tab
+	}
+	if last != nil {
+		fmt.Println(last)
+	}
+}
+
+// §2 characterization.
+func BenchmarkFig2Interference(b *testing.B) { benchExperiment(b, "fig2") }
+
+// §3.4 contribution analysis.
+func BenchmarkFig6SojournProfile(b *testing.B)            { benchExperiment(b, "fig6") }
+func BenchmarkFig7ContributionVsSensitivity(b *testing.B) { benchExperiment(b, "fig7") }
+func BenchmarkFig8Loadlimit(b *testing.B)                 { benchExperiment(b, "fig8") }
+func BenchmarkTable1Catalog(b *testing.B)                 { benchExperiment(b, "tab1") }
+
+// §5.2 constant-load evaluation.
+func BenchmarkFig9BEThroughput(b *testing.B)      { benchExperiment(b, "fig9") }
+func BenchmarkFig10CPUUtilization(b *testing.B)   { benchExperiment(b, "fig10") }
+func BenchmarkFig11MemBWUtilization(b *testing.B) { benchExperiment(b, "fig11") }
+func BenchmarkFig12EMUImprovement(b *testing.B)   { benchExperiment(b, "fig12") }
+func BenchmarkFig13CPUImprovement(b *testing.B)   { benchExperiment(b, "fig13") }
+func BenchmarkFig14MemBWImprovement(b *testing.B) { benchExperiment(b, "fig14") }
+
+// §5.3 production load and microservices.
+func BenchmarkFig15ProductionLoad(b *testing.B) { benchExperiment(b, "fig15") }
+func BenchmarkFig16Microservices(b *testing.B)  { benchExperiment(b, "fig16") }
+
+// §5.4 running process and threshold study.
+func BenchmarkFig17Timeline(b *testing.B)             { benchExperiment(b, "fig17") }
+func BenchmarkFig18ThresholdSweep(b *testing.B)       { benchExperiment(b, "fig18") }
+func BenchmarkTable2ThresholdViolations(b *testing.B) { benchExperiment(b, "tab2") }
+
+// DESIGN.md ablations.
+func BenchmarkAblationContribution(b *testing.B) { benchExperiment(b, "ablation-contribution") }
+func BenchmarkAblationPeriod(b *testing.B)       { benchExperiment(b, "ablation-period") }
+func BenchmarkAblationPairing(b *testing.B)      { benchExperiment(b, "ablation-pairing") }
+func BenchmarkAblationIsolation(b *testing.B)    { benchExperiment(b, "ablation-isolation") }

@@ -1,0 +1,147 @@
+// Command rhythm is the CLI for the Rhythm reproduction: it lists and runs
+// the paper's evaluation experiments, profiles LC services, and prints the
+// workload catalog.
+//
+// Usage:
+//
+//	rhythm list                     # registered experiments
+//	rhythm run <experiment> [...]   # regenerate tables/figures (or "all")
+//	rhythm profile <service>        # offline profiling of one LC service
+//	rhythm catalog                  # Table 1 workloads and BE jobs
+//
+// Flags:
+//
+//	-quick        run at reduced scale (default true; -quick=false for the
+//	              full evaluation scale)
+//	-seed N       RNG seed (default 2020)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rhythm/internal/bejobs"
+	"rhythm/internal/core"
+	"rhythm/internal/experiments"
+	"rhythm/internal/workload"
+)
+
+func main() {
+	quick := flag.Bool("quick", true, "reduced experiment scale")
+	seed := flag.Uint64("seed", 2020, "RNG seed")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	ctx := experiments.NewContext(experiments.Options{Quick: *quick, Seed: *seed})
+	var err error
+	switch args[0] {
+	case "list":
+		err = list()
+	case "run":
+		err = run(ctx, args[1:])
+	case "profile":
+		err = profile(ctx, args[1:])
+	case "catalog":
+		err = catalog()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rhythm:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `rhythm — EuroSys'20 Rhythm reproduction
+
+usage:
+  rhythm [flags] list
+  rhythm [flags] run <experiment>... | all
+  rhythm [flags] profile <service>
+  rhythm [flags] catalog
+
+flags:
+`)
+	flag.PrintDefaults()
+}
+
+func list() error {
+	for _, id := range experiments.IDs() {
+		e, err := experiments.Get(id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-24s %s\n", e.ID, e.Title)
+	}
+	return nil
+}
+
+func run(ctx *experiments.Context, ids []string) error {
+	if len(ids) == 0 {
+		return fmt.Errorf("run needs experiment ids (or \"all\")")
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tab, err := ctx.Run(id)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println(tab)
+		fmt.Printf("(%s generated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func profile(ctx *experiments.Context, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("profile needs exactly one service name")
+	}
+	sys, err := ctx.System(args[0])
+	if err != nil {
+		return err
+	}
+	printSystem(sys)
+	return nil
+}
+
+func printSystem(sys *core.System) {
+	fmt.Printf("service: %s (max load %.0f QPS)\n", sys.Service.Name, sys.Service.MaxLoadQPS)
+	fmt.Printf("derived SLA (worst solo p99 at max load): %.2f ms\n", sys.SLA*1000)
+	fmt.Printf("%-16s %12s %6s %6s %8s %10s %10s\n",
+		"servpod", "contribution", "rho", "alpha", "weight", "loadlimit", "slacklimit")
+	for _, c := range sys.Profile.Contributions {
+		th := sys.Thresholds[c.Pod]
+		fmt.Printf("%-16s %12.3f %6.2f %6.2f %8.3f %10.2f %10.3f\n",
+			c.Pod, c.Normalized, c.Rho, c.Alpha, c.Weight, th.Loadlimit, th.Slacklimit)
+	}
+}
+
+func catalog() error {
+	fmt.Println("LC workloads (Table 1):")
+	for _, svc := range workload.Services() {
+		fmt.Printf("  %-14s %-22s maxload %-9.0f SLA(paper) %-9v containers %d\n",
+			svc.Name, svc.Domain, svc.MaxLoadQPS, svc.SLATable1, svc.Containers)
+		for _, c := range svc.Components {
+			fmt.Printf("      servpod %-16s cores %-3d llc %-3d mem %3.0fGB\n",
+				c.Name, c.Cores, c.LLCWays, c.MemoryGB)
+		}
+	}
+	fmt.Println("BE jobs (Table 1):")
+	for _, ty := range bejobs.Types() {
+		s := bejobs.MustLookup(ty)
+		fmt.Printf("  %-14s %-34s %s-intensive\n", s.Type, s.Domain, s.Intensive)
+	}
+	return nil
+}

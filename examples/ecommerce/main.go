@@ -1,0 +1,93 @@
+// E-commerce timeline: the Fig. 17 scenario — Rhythm running the four-tier
+// TPC-W style website under a diurnal production load, co-located with
+// wordcount BE jobs, printing the controller's running process on the
+// Tomcat and MySQL Servpods (load, slack, BE cores/instances, actions).
+//
+// Run with: go run ./examples/ecommerce
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rhythm"
+
+	"rhythm/internal/controller"
+	"rhythm/internal/profiler"
+)
+
+func main() {
+	svc, err := rhythm.Service("E-commerce")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := rhythm.Deploy(svc, rhythm.Options{
+		Profile: profiler.Options{
+			Levels:        []float64{0.1, 0.3, 0.5, 0.65, 0.75, 0.85, 0.93},
+			LevelDuration: 6 * time.Second,
+			UseTracer:     true,
+		},
+		Seed: 2020,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pattern, err := rhythm.DiurnalLoad(4*time.Minute, 0.15, 0.92, 0.08, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := sys.Run(rhythm.RunConfig{
+		Pattern:  pattern,
+		BETypes:  []rhythm.BEType{rhythm.Wordcount},
+		Duration: 10 * time.Minute,
+		Warmup:   time.Minute,
+		Seed:     17,
+		Timeline: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("E-commerce under diurnal load, wordcount BEs, %d min — worst p99 %.0f ms (SLA %.0f ms)\n\n",
+		10, st.WorstP99*1000, sys.SLA*1000)
+
+	fmt.Printf("%-6s %-6s %-7s  %-18s %-18s\n", "t", "load", "slack", "MySQL c/llc/inst", "Tomcat c/llc/inst")
+	loadS := st.Series["MySQL/load"]
+	get := func(key string, i int) float64 {
+		if s := st.Series[key]; s != nil && i < s.Len() {
+			return s.Values[i]
+		}
+		return 0
+	}
+	step := loadS.Len() / 30
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < loadS.Len(); i += step {
+		fmt.Printf("%-6.0f %-6.2f %-7.2f  %2.0f/%2.0f/%2.0f %11s %2.0f/%2.0f/%2.0f\n",
+			loadS.Times[i], get("MySQL/load", i), get("MySQL/slack", i),
+			get("MySQL/be_cores", i), get("MySQL/be_llc", i), get("MySQL/be_instances", i), "",
+			get("Tomcat/be_cores", i), get("Tomcat/be_llc", i), get("Tomcat/be_instances", i))
+	}
+
+	// Action transitions on the MySQL machine: the SuspendBE /
+	// AllowBEGrowth rhythm the paper's Fig. 17 narrates.
+	fmt.Println("\nMySQL top-controller action transitions:")
+	var last rhythm.Action = -1
+	shown := 0
+	for _, a := range st.Actions {
+		if a.Pod != "MySQL" || a.Action == last {
+			continue
+		}
+		fmt.Printf("  t=%-8v %v\n", a.At, a.Action)
+		last = a.Action
+		shown++
+		if shown > 25 {
+			fmt.Println("  ...")
+			break
+		}
+	}
+	_ = controller.StopBE // document the action vocabulary's origin
+}

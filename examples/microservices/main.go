@@ -1,0 +1,66 @@
+// Microservices: the §5.3.2 scenario — Rhythm managing SNMS, the
+// 30-microservice social network of DeathStarBench, grouped into three
+// Servpods (frontend / UserService / MediaService) with a fan-out call
+// graph. SNMS profiles through its built-in tracing (jaeger) rather than
+// Rhythm's request tracer, and MediaService sits off the critical path, so
+// its Eq. 5 alpha scales its contribution down.
+//
+// Run with: go run ./examples/microservices
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rhythm"
+
+	"rhythm/internal/profiler"
+)
+
+func main() {
+	svc, err := rhythm.Service("SNMS")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SNMS: %d microservices in %d Servpods\n", svc.Containers, len(svc.Components))
+	for _, c := range svc.Components {
+		fmt.Printf("  %-14s %2d microservices, %d cores, %.0f GB\n",
+			c.Name, c.Microservices, c.Cores, c.MemoryGB)
+	}
+
+	sys, err := rhythm.Deploy(svc, rhythm.Options{
+		Profile: profiler.Options{
+			Levels:        []float64{0.1, 0.3, 0.5, 0.65, 0.8, 0.93},
+			LevelDuration: 6 * time.Second,
+		},
+		Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\ncontributions (paper: media 0.295 / frontend 0.14 / user 0.565):")
+	for _, c := range sys.Profile.Contributions {
+		fmt.Printf("  %-14s contribution %.3f (alpha %.2f)  slacklimit %.3f\n",
+			c.Pod, c.Normalized, c.Alpha, sys.Thresholds[c.Pod].Slacklimit)
+	}
+
+	// Sweep the co-location across the evaluation loads with stream-llc BEs.
+	fmt.Println("\nEMU under solo / Heracles / Rhythm (stream-llc BE jobs):")
+	for _, load := range []float64{0.25, 0.45, 0.65, 0.85} {
+		cmp, err := sys.Compare(rhythm.RunConfig{
+			Pattern:  rhythm.ConstantLoad(load),
+			BETypes:  []rhythm.BEType{rhythm.StreamLLC},
+			Duration: 90 * time.Second,
+			Warmup:   20 * time.Second,
+			Seed:     5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  load %3.0f%%: %.3f / %.3f / %.3f  (improvement %+.1f%%)\n",
+			100*load, load, cmp.Heracles.MeanEMU(), cmp.Rhythm.MeanEMU(),
+			100*rhythm.Improvement(cmp.Rhythm.MeanEMU(), cmp.Heracles.MeanEMU()))
+	}
+}

@@ -1,0 +1,58 @@
+// Production: the Fig. 15 scenario over the whole catalog — every LC
+// service co-located with a mixed BE stream under the diurnal production
+// trace, reporting EMU / CPU / memory-bandwidth improvements over Heracles
+// and the worst p99 relative to each service's derived SLA.
+//
+// Run with: go run ./examples/production
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rhythm"
+
+	"rhythm/internal/profiler"
+)
+
+func main() {
+	pattern, err := rhythm.DiurnalLoad(4*time.Minute, 0.15, 0.92, 0.08, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mix := []rhythm.BEType{rhythm.Wordcount, rhythm.ImageClassify, rhythm.LSTM, rhythm.CPUStress}
+
+	fmt.Printf("%-14s %10s %10s %12s %10s %10s\n",
+		"service", "EMU impr", "CPU impr", "MemBW impr", "p99/SLA", "violations")
+	for _, svc := range rhythm.Services() {
+		sys, err := rhythm.Deploy(svc, rhythm.Options{
+			Profile: profiler.Options{
+				Levels:        []float64{0.1, 0.3, 0.5, 0.65, 0.75, 0.85, 0.93},
+				LevelDuration: 5 * time.Second,
+				UseTracer:     true,
+			},
+			Seed: 2020,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cmp, err := sys.Compare(rhythm.RunConfig{
+			Pattern:  pattern,
+			BETypes:  mix,
+			Duration: 10 * time.Minute,
+			Warmup:   time.Minute,
+			Seed:     3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %9.1f%% %9.1f%% %11.1f%% %10.3f %10d\n",
+			svc.Name,
+			100*rhythm.Improvement(cmp.Rhythm.MeanEMU(), cmp.Heracles.MeanEMU()),
+			100*rhythm.Improvement(cmp.Rhythm.MeanCPUUtil(), cmp.Heracles.MeanCPUUtil()),
+			100*rhythm.Improvement(cmp.Rhythm.MeanMemBWUtil(), cmp.Heracles.MeanMemBWUtil()),
+			cmp.Rhythm.WorstP99/sys.SLA,
+			cmp.Rhythm.Violations)
+	}
+}

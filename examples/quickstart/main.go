@@ -1,0 +1,72 @@
+// Quickstart: deploy Rhythm on one LC service and co-locate BE jobs.
+//
+// This is the smallest end-to-end use of the public API:
+//
+//  1. pick a Table 1 workload,
+//  2. Deploy (profile once: tracer -> contributions -> thresholds),
+//  3. run the co-location and compare against the Heracles baseline.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rhythm"
+
+	"rhythm/internal/profiler"
+)
+
+func main() {
+	svc, err := rhythm.Service("Solr")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Deploy = the paper's offline phase. The reduced sweep keeps this
+	// example fast; drop the Profile override for the full-fidelity sweep.
+	sys, err := rhythm.Deploy(svc, rhythm.Options{
+		Profile: profiler.Options{
+			Levels:        []float64{0.1, 0.3, 0.5, 0.65, 0.8, 0.93},
+			LevelDuration: 6 * time.Second,
+			UseTracer:     true,
+		},
+		Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("deployed Rhythm on %s — derived SLA %.1f ms\n\n", svc.Name, sys.SLA*1000)
+	fmt.Println("per-Servpod contributions and thresholds (§3.4, §3.5.1):")
+	for _, c := range sys.Profile.Contributions {
+		th := sys.Thresholds[c.Pod]
+		fmt.Printf("  %-14s contribution %.3f  loadlimit %.2f  slacklimit %.3f\n",
+			c.Pod, c.Normalized, th.Loadlimit, th.Slacklimit)
+	}
+
+	// Co-locate wordcount BE jobs at 65% LC load for two minutes of
+	// virtual time, under Rhythm and under Heracles.
+	cmp, err := sys.Compare(rhythm.RunConfig{
+		Pattern:  rhythm.ConstantLoad(0.65),
+		BETypes:  []rhythm.BEType{rhythm.Wordcount},
+		Duration: 2 * time.Minute,
+		Warmup:   30 * time.Second,
+		Seed:     7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nco-location at 65%% load with wordcount BE jobs:\n")
+	fmt.Printf("  %-10s EMU %.3f  BE throughput %.3f  CPU %.1f%%  worst p99 %.1f ms\n",
+		"Rhythm", cmp.Rhythm.MeanEMU(), cmp.Rhythm.MeanBEThroughput(),
+		100*cmp.Rhythm.MeanCPUUtil(), cmp.Rhythm.WorstP99*1000)
+	fmt.Printf("  %-10s EMU %.3f  BE throughput %.3f  CPU %.1f%%  worst p99 %.1f ms\n",
+		"Heracles", cmp.Heracles.MeanEMU(), cmp.Heracles.MeanBEThroughput(),
+		100*cmp.Heracles.MeanCPUUtil(), cmp.Heracles.WorstP99*1000)
+	fmt.Printf("  EMU improvement: %+.1f%%\n",
+		100*rhythm.Improvement(cmp.Rhythm.MeanEMU(), cmp.Heracles.MeanEMU()))
+}

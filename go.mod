@@ -1,0 +1,3 @@
+module rhythm
+
+go 1.22

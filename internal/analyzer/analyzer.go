@@ -1,0 +1,253 @@
+// Package analyzer implements the contribution analyzer of §3.4: it turns
+// the solo-run load-sweep profile of an LC service (per-Servpod mean
+// sojourn times and the overall tail latency at each load level) into the
+// per-Servpod tail-latency contributions that drive Rhythm's thresholds.
+//
+// The contribution of Servpod i is (Equations 1-5 of the paper):
+//
+//	P_i  = T̄_i / Σ_k T̄_k                        — sojourn-time weight
+//	ρ_i  = Pearson(T_i^j, T_tail^j) over loads j — correlation with tail
+//	V_i  = (1/T̄_i)·sqrt(Σ_j (T_i^j-T̄_i)² / (m(m-1))) — normalized CoV
+//	C_i  = ρ_i · P_i · V_i                        — contribution (Eq. 4)
+//	C_i  = α_i · ρ_i · P_i · V_i                  — fan-out scaling (Eq. 5)
+//
+// where α_i < 1 for Servpods off the critical path R: α_i is the mean
+// latency of the longest path through i divided by the critical path's.
+package analyzer
+
+import (
+	"fmt"
+	"math"
+
+	"rhythm/internal/sim"
+	"rhythm/internal/workload"
+)
+
+// LoadProfile is the solo-run sweep produced by the profiler: for each of
+// the m load levels, the mean sojourn per Servpod and the overall tail
+// latency.
+type LoadProfile struct {
+	// Levels are the swept load fractions, ascending.
+	Levels []float64
+	// Sojourns maps Servpod name to its mean sojourn time (seconds) at
+	// each load level.
+	Sojourns map[string][]float64
+	// Tail is the overall tail latency (seconds) at each load level.
+	Tail []float64
+}
+
+// Validate reports structural problems with the profile.
+func (p *LoadProfile) Validate() error {
+	m := len(p.Levels)
+	if m < 2 {
+		return fmt.Errorf("analyzer: need at least 2 load levels, got %d", m)
+	}
+	if len(p.Tail) != m {
+		return fmt.Errorf("analyzer: %d tail samples for %d levels", len(p.Tail), m)
+	}
+	if len(p.Sojourns) == 0 {
+		return fmt.Errorf("analyzer: no Servpod sojourn series")
+	}
+	for pod, s := range p.Sojourns {
+		if len(s) != m {
+			return fmt.Errorf("analyzer: pod %s has %d sojourn samples for %d levels", pod, len(s), m)
+		}
+	}
+	return nil
+}
+
+// Contribution is the analyzed contribution of one Servpod.
+type Contribution struct {
+	Pod string
+	// MeanSojourn is T̄_i: the mean sojourn across all load levels.
+	MeanSojourn float64
+	// Weight is P_i (Eq. 1).
+	Weight float64
+	// Rho is the Pearson correlation with tail latency (Eq. 2), clamped
+	// to [0, 1]: a Servpod anti-correlated with the tail cannot be said
+	// to contribute to it.
+	Rho float64
+	// CoV is V_i (Eq. 3).
+	CoV float64
+	// Alpha is the Eq. 5 critical-path factor (1 on the critical path).
+	Alpha float64
+	// Raw is C_i = α·ρ·P·V (Eq. 5).
+	Raw float64
+	// Normalized is Raw scaled so contributions sum to 1 across pods;
+	// this is the form §5.3.2 reports (0.295/0.14/0.565 for SNMS) and
+	// the thresholding algorithm consumes.
+	Normalized float64
+}
+
+// Analyze computes the contribution of every Servpod in the profile. The
+// call graph supplies the critical-path structure for Eq. 5; a nil graph
+// treats every pod as on the critical path (α = 1).
+func Analyze(p *LoadProfile, graph *workload.Node) ([]Contribution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	pods := podOrder(p, graph)
+	m := float64(len(p.Levels))
+
+	// T̄_i and Σ T̄_k.
+	means := make(map[string]float64, len(pods))
+	var total float64
+	for _, pod := range pods {
+		mu := sim.Mean(p.Sojourns[pod])
+		means[pod] = mu
+		total += mu
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("analyzer: all sojourn means are zero")
+	}
+
+	alphas := alphaFactors(means, graph)
+
+	out := make([]Contribution, 0, len(pods))
+	var rawSum float64
+	for _, pod := range pods {
+		s := p.Sojourns[pod]
+		mu := means[pod]
+		c := Contribution{
+			Pod:         pod,
+			MeanSojourn: mu,
+			Weight:      mu / total,
+			Rho:         math.Max(0, sim.Pearson(s, p.Tail)),
+			Alpha:       alphas[pod],
+		}
+		// Eq. 3: normalized coefficient of variation across load levels.
+		if mu > 0 {
+			var ss float64
+			for _, v := range s {
+				ss += (v - mu) * (v - mu)
+			}
+			c.CoV = math.Sqrt(ss/(m*(m-1))) / mu
+		}
+		c.Raw = c.Alpha * c.Rho * c.Weight * c.CoV
+		rawSum += c.Raw
+		out = append(out, c)
+	}
+	if rawSum > 0 {
+		for i := range out {
+			out[i].Normalized = out[i].Raw / rawSum
+		}
+	} else {
+		// Degenerate profile (e.g. perfectly flat sojourns): fall back to
+		// sojourn weights so the thresholding algorithm still has a
+		// usable ordering.
+		for i := range out {
+			out[i].Normalized = out[i].Weight
+		}
+	}
+	return out, nil
+}
+
+// podOrder returns the pods in graph order when available (stable output
+// for printing), otherwise sorted map order.
+func podOrder(p *LoadProfile, graph *workload.Node) []string {
+	if graph != nil {
+		var out []string
+		for _, name := range graph.Components() {
+			if _, ok := p.Sojourns[name]; ok {
+				out = append(out, name)
+			}
+		}
+		if len(out) == len(p.Sojourns) {
+			return out
+		}
+	}
+	out := make([]string, 0, len(p.Sojourns))
+	for pod := range p.Sojourns {
+		out = append(out, pod)
+	}
+	// Deterministic order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// alphaFactors computes Eq. 5's α for every pod: 1 on the critical path
+// (the root-to-leaf path with the largest total mean sojourn), and the
+// ratio of the longest path through the pod to the critical path
+// otherwise.
+func alphaFactors(means map[string]float64, graph *workload.Node) map[string]float64 {
+	alphas := make(map[string]float64, len(means))
+	for pod := range means {
+		alphas[pod] = 1
+	}
+	if graph == nil {
+		return alphas
+	}
+	paths := graph.Paths()
+	if len(paths) < 2 {
+		return alphas // chain: everything is critical
+	}
+	pathSum := func(path []string) float64 {
+		var s float64
+		for _, pod := range path {
+			s += means[pod]
+		}
+		return s
+	}
+	critical, criticalSum := paths[0], pathSum(paths[0])
+	for _, path := range paths[1:] {
+		if s := pathSum(path); s > criticalSum {
+			critical, criticalSum = path, s
+		}
+	}
+	onCritical := make(map[string]bool, len(critical))
+	for _, pod := range critical {
+		onCritical[pod] = true
+	}
+	for pod := range means {
+		if onCritical[pod] || criticalSum <= 0 {
+			continue
+		}
+		best := 0.0
+		for _, path := range paths {
+			through := false
+			for _, q := range path {
+				if q == pod {
+					through = true
+					break
+				}
+			}
+			if through {
+				if s := pathSum(path); s > best {
+					best = s
+				}
+			}
+		}
+		alphas[pod] = best / criticalSum
+	}
+	return alphas
+}
+
+// loadlimitMargin guards the Fig. 8 rule against sampling noise: a level
+// only counts as "fluctuating above the average" when it exceeds it by
+// this relative margin. Steady pods (Amoeba, Zookeeper) whose measured
+// CoV wanders a few percent around a flat line then keep a high loadlimit
+// instead of tripping on noise.
+const loadlimitMargin = 0.10
+
+// Loadlimit applies the Fig. 8 rule: given the per-level CoV of a
+// Servpod's sojourn times, the loadlimit is the first load level whose CoV
+// exceeds the sweep-average CoV (by the noise margin). It returns the last
+// level when no level qualifies: a steady pod tolerates BE jobs at any
+// load.
+func Loadlimit(levels, cov []float64) (float64, error) {
+	if len(levels) != len(cov) || len(levels) == 0 {
+		return 0, fmt.Errorf("analyzer: loadlimit needs matching non-empty series, got %d/%d",
+			len(levels), len(cov))
+	}
+	threshold := sim.Mean(cov) * (1 + loadlimitMargin)
+	for i, c := range cov {
+		if c > threshold {
+			return levels[i], nil
+		}
+	}
+	return levels[len(levels)-1], nil
+}

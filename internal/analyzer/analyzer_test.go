@@ -1,0 +1,300 @@
+package analyzer
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rhythm/internal/sim"
+	"rhythm/internal/workload"
+)
+
+// syntheticProfile builds a 3-pod profile where pod "hot" grows steeply
+// and noisily with load (high contribution), "warm" grows mildly, and
+// "cold" is flat (near-zero contribution).
+func syntheticProfile() *LoadProfile {
+	levels := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	p := &LoadProfile{
+		Levels:   levels,
+		Sojourns: map[string][]float64{},
+	}
+	for _, l := range levels {
+		p.Sojourns["hot"] = append(p.Sojourns["hot"], 0.020+0.100*l*l)
+		p.Sojourns["warm"] = append(p.Sojourns["warm"], 0.030+0.010*l)
+		p.Sojourns["cold"] = append(p.Sojourns["cold"], 0.005)
+		p.Tail = append(p.Tail, 0.080+0.300*l*l)
+	}
+	return p
+}
+
+func byPod(cs []Contribution) map[string]Contribution {
+	out := map[string]Contribution{}
+	for _, c := range cs {
+		out[c.Pod] = c
+	}
+	return out
+}
+
+func TestContributionOrdering(t *testing.T) {
+	cs, err := Analyze(syntheticProfile(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := byPod(cs)
+	if !(m["hot"].Normalized > m["warm"].Normalized) {
+		t.Fatalf("hot should dominate warm: %+v", m)
+	}
+	if !(m["warm"].Normalized >= m["cold"].Normalized) {
+		t.Fatalf("warm should dominate cold: %+v", m)
+	}
+	// Cold pod: constant sojourn => zero CoV => zero raw contribution.
+	if m["cold"].Raw != 0 {
+		t.Fatalf("flat pod should contribute 0, got %v", m["cold"].Raw)
+	}
+}
+
+func TestContributionsSumToOne(t *testing.T) {
+	cs, err := Analyze(syntheticProfile(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, c := range cs {
+		sum += c.Normalized
+		if c.Normalized < 0 {
+			t.Fatalf("negative normalized contribution: %+v", c)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("contributions sum to %v", sum)
+	}
+}
+
+func TestWeightsMatchEquation1(t *testing.T) {
+	p := syntheticProfile()
+	cs, _ := Analyze(p, nil)
+	var total float64
+	for _, s := range p.Sojourns {
+		total += sim.Mean(s)
+	}
+	for _, c := range cs {
+		want := sim.Mean(p.Sojourns[c.Pod]) / total
+		if math.Abs(c.Weight-want) > 1e-12 {
+			t.Fatalf("%s: weight %v, want %v", c.Pod, c.Weight, want)
+		}
+	}
+}
+
+func TestRhoClampedNonNegative(t *testing.T) {
+	p := syntheticProfile()
+	// An anti-correlated pod: sojourn shrinks as tail grows.
+	p.Sojourns["anti"] = []float64{0.050, 0.040, 0.030, 0.020, 0.010}
+	cs, err := Analyze(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := byPod(cs)
+	if m["anti"].Rho != 0 || m["anti"].Raw != 0 {
+		t.Fatalf("anti-correlated pod should have zero contribution: %+v", m["anti"])
+	}
+}
+
+func TestEquation3MatchesHandComputation(t *testing.T) {
+	levels := []float64{0.2, 0.4, 0.6}
+	s := []float64{1.0, 2.0, 3.0}
+	p := &LoadProfile{
+		Levels:   levels,
+		Sojourns: map[string][]float64{"x": s, "y": {1, 1.1, 1.2}},
+		Tail:     []float64{2, 4, 6},
+	}
+	cs, err := Analyze(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := byPod(cs)
+	// V = (1/2) * sqrt(((1-2)^2+(2-2)^2+(3-2)^2) / (3*2)) = 0.5*sqrt(1/3)
+	want := 0.5 * math.Sqrt(1.0/3.0)
+	if math.Abs(m["x"].CoV-want) > 1e-12 {
+		t.Fatalf("V = %v, want %v", m["x"].CoV, want)
+	}
+	// Perfectly correlated with tail: rho = 1.
+	if math.Abs(m["x"].Rho-1) > 1e-12 {
+		t.Fatalf("rho = %v, want 1", m["x"].Rho)
+	}
+}
+
+func TestAlphaOnChainIsOne(t *testing.T) {
+	svc := workload.ECommerce()
+	p := &LoadProfile{
+		Levels:   []float64{0.2, 0.5, 0.8},
+		Sojourns: map[string][]float64{},
+		Tail:     []float64{0.05, 0.1, 0.2},
+	}
+	for _, c := range svc.Components {
+		p.Sojourns[c.Name] = []float64{0.01, 0.02, 0.04}
+	}
+	cs, err := Analyze(p, svc.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cs {
+		if c.Alpha != 1 {
+			t.Fatalf("%s: alpha %v on a chain, want 1", c.Pod, c.Alpha)
+		}
+	}
+}
+
+func TestAlphaOnFanOut(t *testing.T) {
+	svc := workload.SNMS()
+	p := &LoadProfile{
+		Levels:   []float64{0.2, 0.5, 0.8},
+		Sojourns: map[string][]float64{},
+		Tail:     []float64{0.1, 0.2, 0.4},
+	}
+	// UserService path is the critical one; MediaService is faster.
+	grow := func(base float64) []float64 {
+		return []float64{base, base * 1.5, base * 2.5}
+	}
+	p.Sojourns["frontend"] = grow(0.020)
+	p.Sojourns["UserService"] = grow(0.080)
+	p.Sojourns["MediaService"] = grow(0.050)
+	cs, err := Analyze(p, svc.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := byPod(cs)
+	if m["frontend"].Alpha != 1 || m["UserService"].Alpha != 1 {
+		t.Fatalf("critical path pods must have alpha 1: %+v", m)
+	}
+	a := m["MediaService"].Alpha
+	// Longest path through MediaService: frontend + MediaService.
+	fm := sim.Mean(p.Sojourns["frontend"])
+	mm := sim.Mean(p.Sojourns["MediaService"])
+	um := sim.Mean(p.Sojourns["UserService"])
+	want := (fm + mm) / (fm + um)
+	if math.Abs(a-want) > 1e-12 {
+		t.Fatalf("MediaService alpha = %v, want %v", a, want)
+	}
+	if a >= 1 {
+		t.Fatalf("off-critical alpha should be < 1, got %v", a)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []*LoadProfile{
+		{Levels: []float64{0.5}, Tail: []float64{1}, Sojourns: map[string][]float64{"a": {1}}},
+		{Levels: []float64{0.2, 0.5}, Tail: []float64{1}, Sojourns: map[string][]float64{"a": {1, 2}}},
+		{Levels: []float64{0.2, 0.5}, Tail: []float64{1, 2}, Sojourns: map[string][]float64{}},
+		{Levels: []float64{0.2, 0.5}, Tail: []float64{1, 2}, Sojourns: map[string][]float64{"a": {1}}},
+	}
+	for i, p := range bad {
+		if _, err := Analyze(p, nil); err == nil {
+			t.Errorf("case %d: invalid profile accepted", i)
+		}
+	}
+}
+
+func TestAllZeroSojournsRejected(t *testing.T) {
+	p := &LoadProfile{
+		Levels:   []float64{0.2, 0.5},
+		Tail:     []float64{1, 2},
+		Sojourns: map[string][]float64{"a": {0, 0}},
+	}
+	if _, err := Analyze(p, nil); err == nil {
+		t.Fatal("all-zero profile accepted")
+	}
+}
+
+func TestDegenerateFlatProfileFallsBackToWeights(t *testing.T) {
+	p := &LoadProfile{
+		Levels:   []float64{0.2, 0.5, 0.8},
+		Tail:     []float64{1, 1, 1},
+		Sojourns: map[string][]float64{"a": {2, 2, 2}, "b": {1, 1, 1}},
+	}
+	cs, err := Analyze(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := byPod(cs)
+	if math.Abs(m["a"].Normalized-2.0/3.0) > 1e-12 {
+		t.Fatalf("fallback weight = %v", m["a"].Normalized)
+	}
+}
+
+func TestContributionInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := sim.NewRNG(seed)
+		m := 2 + r.Intn(20)
+		p := &LoadProfile{Sojourns: map[string][]float64{}}
+		for j := 0; j < m; j++ {
+			p.Levels = append(p.Levels, float64(j+1)/float64(m))
+			p.Tail = append(p.Tail, 0.05+r.Float64())
+		}
+		pods := 1 + r.Intn(5)
+		for i := 0; i < pods; i++ {
+			s := make([]float64, m)
+			for j := range s {
+				s[j] = 0.001 + r.Float64()*0.1
+			}
+			p.Sojourns[string(rune('a'+i))] = s
+		}
+		cs, err := Analyze(p, nil)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, c := range cs {
+			if c.Raw < 0 || c.Rho < 0 || c.Rho > 1 || c.Alpha <= 0 || c.Alpha > 1 {
+				return false
+			}
+			sum += c.Normalized
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadlimitRule(t *testing.T) {
+	levels := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	cov := []float64{0.1, 0.1, 0.1, 0.5, 0.9} // avg = 0.34; first above: 0.8
+	ll, err := Loadlimit(levels, cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ll != 0.8 {
+		t.Fatalf("loadlimit = %v, want 0.8", ll)
+	}
+}
+
+func TestLoadlimitFlatSeries(t *testing.T) {
+	levels := []float64{0.2, 0.6, 1.0}
+	ll, err := Loadlimit(levels, []float64{0.3, 0.3, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ll != 1.0 {
+		t.Fatalf("flat CoV should allow BE at any load, got %v", ll)
+	}
+}
+
+func TestLoadlimitValidation(t *testing.T) {
+	if _, err := Loadlimit(nil, nil); err == nil {
+		t.Fatal("empty series accepted")
+	}
+	if _, err := Loadlimit([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+}
+
+func TestPodOrderStable(t *testing.T) {
+	p := syntheticProfile()
+	a, _ := Analyze(p, nil)
+	b, _ := Analyze(p, nil)
+	for i := range a {
+		if a[i].Pod != b[i].Pod {
+			t.Fatal("analysis order not deterministic")
+		}
+	}
+}

@@ -1,0 +1,291 @@
+// Package cluster models the physical substrate of the paper's testbed:
+// machines with cores, a way-partitioned last-level cache, memory capacity,
+// memory bandwidth, network bandwidth, and a power budget with DVFS
+// frequency scaling. It is the state the isolation actuators
+// (internal/isolation) manipulate and the interference model
+// (internal/interference) reads.
+//
+// The defaults mirror §5.1 of the paper: four machines, each with 40 cores
+// of a quad-socket Xeon E7-4820 v4 @ 2.0 GHz, 20 MB of shared L3 per socket
+// (modeled as 20 CAT ways), and 64 GB of DRAM per socket.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Resource identifies one of the shared resources the controller manages.
+type Resource int
+
+// The managed resources. Their order is stable and used for vector
+// indexing across packages.
+const (
+	ResCPU    Resource = iota // physical cores
+	ResLLC                    // last-level cache ways (Intel CAT)
+	ResMemBW                  // memory bandwidth
+	ResNetBW                  // network link bandwidth
+	ResMemory                 // DRAM capacity
+	ResPower                  // socket power (RAPL)
+	numResources
+)
+
+// NumResources is the number of managed resource dimensions.
+const NumResources = int(numResources)
+
+// String returns the conventional short name of the resource.
+func (r Resource) String() string {
+	switch r {
+	case ResCPU:
+		return "cpu"
+	case ResLLC:
+		return "llc"
+	case ResMemBW:
+		return "membw"
+	case ResNetBW:
+		return "netbw"
+	case ResMemory:
+		return "memory"
+	case ResPower:
+		return "power"
+	default:
+		return fmt.Sprintf("resource(%d)", int(r))
+	}
+}
+
+// Vector is a per-resource quantity (capacities, demands, pressures).
+type Vector [NumResources]float64
+
+// Add returns v + o element-wise.
+func (v Vector) Add(o Vector) Vector {
+	for i := range v {
+		v[i] += o[i]
+	}
+	return v
+}
+
+// Scale returns v scaled by k.
+func (v Vector) Scale(k float64) Vector {
+	for i := range v {
+		v[i] *= k
+	}
+	return v
+}
+
+// MachineSpec describes the capacities of one physical machine.
+type MachineSpec struct {
+	Cores    int     // physical cores
+	LLCWays  int     // CAT-partitionable cache ways
+	MemoryGB float64 // DRAM capacity
+	MemBWGBs float64 // peak memory bandwidth, GB/s
+	NetGbps  float64 // network link rate, Gb/s
+	TDPWatts float64 // socket power budget (RAPL cap)
+	BaseGHz  float64 // nominal core frequency
+	MinGHz   float64 // lowest DVFS operating point
+	MaxGHz   float64 // highest DVFS operating point
+}
+
+// DefaultSpec returns the testbed machine of §5.1.
+func DefaultSpec() MachineSpec {
+	return MachineSpec{
+		Cores:    40,
+		LLCWays:  20,
+		MemoryGB: 256,
+		MemBWGBs: 68, // quad-socket DDR4-1866 aggregate, conservative
+		NetGbps:  10,
+		TDPWatts: 460, // 4 sockets x 115 W
+		BaseGHz:  2.0,
+		MinGHz:   1.2,
+		MaxGHz:   2.0,
+	}
+}
+
+// Owner identifies who holds an allocation on a machine: the LC Servpod or
+// a BE job instance.
+type Owner struct {
+	Kind OwnerKind
+	Name string // Servpod name or BE instance id
+}
+
+// OwnerKind distinguishes LC from BE allocations.
+type OwnerKind int
+
+// Allocation owner kinds.
+const (
+	OwnerLC OwnerKind = iota
+	OwnerBE
+)
+
+// String returns "lc" or "be".
+func (k OwnerKind) String() string {
+	if k == OwnerLC {
+		return "lc"
+	}
+	return "be"
+}
+
+// Alloc is one owner's current grant on a machine. Cores and LLC ways are
+// integers in the real system; they are tracked as float64 here only in the
+// bandwidth dimensions.
+type Alloc struct {
+	Cores    int
+	LLCWays  int
+	MemoryGB float64
+	MemBWGBs float64 // reserved share enforced by the model
+	NetGbps  float64 // qdisc class rate
+	FreqGHz  float64 // DVFS operating point for this owner's cores
+}
+
+// Machine is one physical machine plus its allocation ledger. It enforces
+// the capacity invariants: the sum of granted cores, ways, memory and
+// bandwidth never exceeds the spec. Machine is not safe for concurrent use;
+// the simulation is single-threaded.
+type Machine struct {
+	Name   string
+	Spec   MachineSpec
+	allocs map[Owner]*Alloc
+}
+
+// NewMachine returns an empty machine with the given spec.
+func NewMachine(name string, spec MachineSpec) *Machine {
+	return &Machine{Name: name, Spec: spec, allocs: make(map[Owner]*Alloc)}
+}
+
+// Alloc returns the current grant for owner, or nil if none.
+func (m *Machine) Alloc(o Owner) *Alloc {
+	return m.allocs[o]
+}
+
+// Owners returns all owners with grants, sorted for determinism (LC first,
+// then by name).
+func (m *Machine) Owners() []Owner {
+	out := make([]Owner, 0, len(m.allocs))
+	for o := range m.allocs {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// used sums all grants.
+func (m *Machine) used() Alloc {
+	var u Alloc
+	for _, a := range m.allocs {
+		u.Cores += a.Cores
+		u.LLCWays += a.LLCWays
+		u.MemoryGB += a.MemoryGB
+		u.MemBWGBs += a.MemBWGBs
+		u.NetGbps += a.NetGbps
+	}
+	return u
+}
+
+// FreeCores returns the number of unallocated cores.
+func (m *Machine) FreeCores() int { return m.Spec.Cores - m.used().Cores }
+
+// FreeLLCWays returns the number of unallocated cache ways.
+func (m *Machine) FreeLLCWays() int { return m.Spec.LLCWays - m.used().LLCWays }
+
+// FreeMemoryGB returns unallocated DRAM in GB.
+func (m *Machine) FreeMemoryGB() float64 { return m.Spec.MemoryGB - m.used().MemoryGB }
+
+// FreeNetGbps returns unreserved network bandwidth.
+func (m *Machine) FreeNetGbps() float64 { return m.Spec.NetGbps - m.used().NetGbps }
+
+// Grant installs or replaces the allocation for owner after validating that
+// the machine-wide invariants hold. On violation it returns an error and
+// leaves the ledger unchanged.
+func (m *Machine) Grant(o Owner, a Alloc) error {
+	if a.Cores < 0 || a.LLCWays < 0 || a.MemoryGB < 0 || a.MemBWGBs < 0 || a.NetGbps < 0 {
+		return fmt.Errorf("cluster: negative allocation for %s/%s: %+v", o.Kind, o.Name, a)
+	}
+	if a.FreqGHz != 0 && (a.FreqGHz < m.Spec.MinGHz-1e-9 || a.FreqGHz > m.Spec.MaxGHz+1e-9) {
+		return fmt.Errorf("cluster: frequency %.2f GHz outside [%.2f, %.2f]",
+			a.FreqGHz, m.Spec.MinGHz, m.Spec.MaxGHz)
+	}
+	prev, had := m.allocs[o]
+	m.allocs[o] = &a
+	u := m.used()
+	if u.Cores > m.Spec.Cores || u.LLCWays > m.Spec.LLCWays ||
+		u.MemoryGB > m.Spec.MemoryGB+1e-9 || u.NetGbps > m.Spec.NetGbps+1e-9 {
+		if had {
+			m.allocs[o] = prev
+		} else {
+			delete(m.allocs, o)
+		}
+		return fmt.Errorf("cluster: grant to %s/%s oversubscribes %s (cores %d/%d, ways %d/%d, mem %.1f/%.1f GB, net %.1f/%.1f Gbps)",
+			o.Kind, o.Name, m.Name, u.Cores, m.Spec.Cores, u.LLCWays, m.Spec.LLCWays,
+			u.MemoryGB, m.Spec.MemoryGB, u.NetGbps, m.Spec.NetGbps)
+	}
+	return nil
+}
+
+// Release removes owner's allocation. Releasing an absent owner is a no-op.
+func (m *Machine) Release(o Owner) { delete(m.allocs, o) }
+
+// LCAlloc returns the (single) LC allocation on the machine, or nil.
+func (m *Machine) LCAlloc() *Alloc {
+	for o, a := range m.allocs {
+		if o.Kind == OwnerLC {
+			return a
+		}
+	}
+	return nil
+}
+
+// BEOwners returns the BE owners on the machine, sorted by name.
+func (m *Machine) BEOwners() []Owner {
+	var out []Owner
+	for o := range m.allocs {
+		if o.Kind == OwnerBE {
+			out = append(out, o)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// BETotals sums all BE grants on the machine.
+func (m *Machine) BETotals() Alloc {
+	var u Alloc
+	for o, a := range m.allocs {
+		if o.Kind != OwnerBE {
+			continue
+		}
+		u.Cores += a.Cores
+		u.LLCWays += a.LLCWays
+		u.MemoryGB += a.MemoryGB
+		u.MemBWGBs += a.MemBWGBs
+		u.NetGbps += a.NetGbps
+	}
+	return u
+}
+
+// Cluster is a named set of machines.
+type Cluster struct {
+	Machines []*Machine
+}
+
+// New returns a cluster of n machines with the given spec, named m0..m(n-1).
+func New(n int, spec MachineSpec) *Cluster {
+	c := &Cluster{}
+	for i := 0; i < n; i++ {
+		c.Machines = append(c.Machines, NewMachine(fmt.Sprintf("m%d", i), spec))
+	}
+	return c
+}
+
+// Machine returns the machine with the given name, or nil.
+func (c *Cluster) Machine(name string) *Machine {
+	for _, m := range c.Machines {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}

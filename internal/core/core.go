@@ -1,0 +1,169 @@
+// Package core assembles Rhythm itself: the "profile LC once, feedback
+// control BE" pipeline of §3. Deploy profiles a service's Servpods
+// (request tracer + contribution analyzer), derives each Servpod's
+// loadlimit and slacklimit (§3.5.1, Algorithm 1), and yields a System
+// whose per-machine controllers co-locate BE jobs aggressively on
+// low-contribution Servpods while protecting the SLA.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"rhythm/internal/bejobs"
+	"rhythm/internal/controller"
+	"rhythm/internal/engine"
+	"rhythm/internal/loadgen"
+	"rhythm/internal/profiler"
+	"rhythm/internal/workload"
+)
+
+// Options configures Deploy.
+type Options struct {
+	// Profile configures the offline sweep; zero values use defaults.
+	Profile profiler.Options
+	// Slack configures the Algorithm 1 search; zero values use defaults.
+	Slack profiler.SlackOptions
+	// Seed is used when the sub-options carry none.
+	Seed uint64
+}
+
+// System is a deployed Rhythm instance for one LC service: the profiling
+// results and the derived control policy.
+type System struct {
+	Service     *workload.Service
+	Profile     *profiler.Profile
+	Slacklimits map[string]float64
+	Thresholds  map[string]controller.Thresholds
+	Policy      *controller.Rhythm
+	// SLA is the derived tail-latency target (seconds) the controllers
+	// protect — the worst solo p99 at max load, per Table 1's rule.
+	SLA float64
+}
+
+// Deploy runs Rhythm's offline phase end to end: load-sweep profiling
+// (through the request tracer for chain services, the built-in tracer for
+// fan-out ones), contribution analysis (Eq. 1-5), the Fig. 8 loadlimit
+// rule and the Algorithm 1 slacklimit search.
+func Deploy(svc *workload.Service, opts Options) (*System, error) {
+	if svc == nil {
+		return nil, fmt.Errorf("core: nil service")
+	}
+	if opts.Profile.Seed == 0 {
+		opts.Profile.Seed = opts.Seed
+	}
+	if opts.Slack.Seed == 0 {
+		opts.Slack.Seed = opts.Seed + 1
+	}
+	prof, err := profiler.Run(svc, opts.Profile)
+	if err != nil {
+		return nil, fmt.Errorf("core: profiling %s: %w", svc.Name, err)
+	}
+	slack, err := profiler.FindSlacklimits(prof, opts.Slack)
+	if err != nil {
+		return nil, fmt.Errorf("core: slacklimit search for %s: %w", svc.Name, err)
+	}
+	th, err := profiler.Thresholds(prof, slack)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := controller.NewRhythm(th)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		Service:     svc,
+		Profile:     prof,
+		Slacklimits: slack,
+		Thresholds:  th,
+		Policy:      pol,
+		SLA:         prof.SLA,
+	}, nil
+}
+
+// RunConfig shapes a co-location run of a deployed system.
+type RunConfig struct {
+	// Pattern offers the LC load (required).
+	Pattern loadgen.Pattern
+	// BETypes are cycled when admitting BE instances (required).
+	BETypes []bejobs.Type
+	// Duration is the virtual run time (required).
+	Duration time.Duration
+	// Warmup discards the initial transient from the statistics.
+	Warmup time.Duration
+	// Seed drives the run.
+	Seed uint64
+	// Timeline retains the Fig. 17 series.
+	Timeline bool
+}
+
+// Run co-locates BE jobs with the LC service under Rhythm's policy.
+func (s *System) Run(cfg RunConfig) (*engine.RunStats, error) {
+	return s.runWith(s.Policy, cfg)
+}
+
+// RunBaseline runs the identical scenario under the Heracles baseline.
+func (s *System) RunBaseline(cfg RunConfig) (*engine.RunStats, error) {
+	return s.runWith(controller.NewHeracles(), cfg)
+}
+
+// RunWith runs the scenario under an arbitrary policy (threshold sweeps,
+// ablations).
+func (s *System) RunWith(pol controller.Policy, cfg RunConfig) (*engine.RunStats, error) {
+	return s.runWith(pol, cfg)
+}
+
+// RunSolo runs the LC service alone (no BE jobs) for reference.
+func (s *System) RunSolo(cfg RunConfig) (*engine.RunStats, error) {
+	cfg.BETypes = nil
+	return s.runWith(nil, cfg)
+}
+
+func (s *System) runWith(pol controller.Policy, cfg RunConfig) (*engine.RunStats, error) {
+	e, err := engine.New(engine.Config{
+		Service:  s.Service,
+		Pattern:  cfg.Pattern,
+		SLA:      s.SLA,
+		Policy:   pol,
+		BETypes:  cfg.BETypes,
+		Seed:     cfg.Seed,
+		Warmup:   cfg.Warmup,
+		Timeline: cfg.Timeline,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(cfg.Duration)
+}
+
+// Comparison holds a Rhythm-vs-Heracles pair over the same scenario.
+type Comparison struct {
+	Rhythm   *engine.RunStats
+	Heracles *engine.RunStats
+}
+
+// Compare runs the same scenario under both policies.
+func (s *System) Compare(cfg RunConfig) (*Comparison, error) {
+	r, err := s.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	h, err := s.RunBaseline(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{Rhythm: r, Heracles: h}, nil
+}
+
+// Improvement returns (rhythm-heracles)/heracles for a metric pair,
+// or 0 when the baseline is zero (both idle) — matching how the paper
+// reports relative improvements.
+func Improvement(rhythm, heracles float64) float64 {
+	if heracles == 0 {
+		if rhythm == 0 {
+			return 0
+		}
+		return 1 // improvement over a zero baseline: report +100%
+	}
+	return (rhythm - heracles) / heracles
+}

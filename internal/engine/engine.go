@@ -1,0 +1,682 @@
+// Package engine is the co-location runtime: it deploys an LC service's
+// Servpods on a simulated cluster (one Servpod per machine, as in §5.1),
+// offers load from a pattern, computes the interference the resident BE
+// jobs impose on each Servpod, samples end-to-end latencies through the
+// service call graph, advances BE progress, and drives a controller policy
+// every control period through the isolation actuators.
+//
+// The engine is the substrate every experiment runs on: solo profiling
+// sweeps, the Rhythm-vs-Heracles grids of Figs. 9-14, the production-load
+// runs of Fig. 15 and the timeline of Fig. 17.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"rhythm/internal/bejobs"
+	"rhythm/internal/cluster"
+	"rhythm/internal/controller"
+	"rhythm/internal/interference"
+	"rhythm/internal/isolation"
+	"rhythm/internal/loadgen"
+	"rhythm/internal/metrics"
+	"rhythm/internal/sim"
+	"rhythm/internal/workload"
+)
+
+// Config describes one engine run.
+type Config struct {
+	// Service is the LC workload to deploy (required).
+	Service *workload.Service
+	// Pattern offers the load as a fraction of the service max (required).
+	Pattern loadgen.Pattern
+	// SLA is the tail-latency target in seconds the controllers protect.
+	// Zero disables slack-based control (used for pure solo profiling).
+	SLA float64
+	// Policy decides BE control actions; nil means solo run (no BE).
+	Policy controller.Policy
+	// BETypes are the BE job types to launch, cycled in order as
+	// instances are admitted. Empty means no BE jobs.
+	BETypes []bejobs.Type
+	// Spec is the machine specification; zero value selects the default.
+	Spec cluster.MachineSpec
+	// Model is the interference model; zero Gamma selects the default.
+	Model interference.Model
+	// Seed drives all randomness.
+	Seed uint64
+	// TickDt is the simulation step (default 100 ms).
+	TickDt time.Duration
+	// ControlPeriod is the controller interval (default 2 s, §3.5.2).
+	ControlPeriod time.Duration
+	// SamplesPerTick is the number of end-to-end latency samples drawn
+	// per tick (default 80).
+	SamplesPerTick int
+	// MaxBEPerMachine caps BE instances per machine (default 15).
+	MaxBEPerMachine int
+	// Warmup discards the initial transient: utilizations, violations
+	// and the worst-p99 statistic only accumulate after this much
+	// virtual time (control decisions still run during warmup).
+	Warmup time.Duration
+	// SLAGuard is the controller's safety headroom: slack is computed
+	// against (1-SLAGuard)*SLA so that steady-state operation aims a few
+	// percent below the target and worst-case noise stays within it
+	// (violations still count against the full SLA). Default 0.08;
+	// negative disables the guard.
+	SLAGuard float64
+	// InertiaTau is the time constant with which observed interference
+	// inflation approaches its steady-state value (queues filling,
+	// caches churning). Real servers do not jump to a new tail latency
+	// the instant a co-runner gets another core; this inertia is what
+	// gives a 2 s controller room to react. Default 4 s; negative
+	// disables smoothing.
+	InertiaTau time.Duration
+	// CollectSamples retains per-pod sojourn and end-to-end samples in
+	// the run stats (profiling).
+	CollectSamples bool
+	// Timeline retains per-control-tick series and the action log
+	// (Fig. 17).
+	Timeline bool
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Service == nil {
+		return fmt.Errorf("engine: Config.Service is required")
+	}
+	if err := c.Service.Validate(); err != nil {
+		return err
+	}
+	if c.Pattern == nil {
+		return fmt.Errorf("engine: Config.Pattern is required")
+	}
+	if c.TickDt <= 0 {
+		c.TickDt = 100 * time.Millisecond
+	}
+	if c.ControlPeriod <= 0 {
+		c.ControlPeriod = 2 * time.Second
+	}
+	if c.SamplesPerTick <= 0 {
+		c.SamplesPerTick = 80
+	}
+	if c.MaxBEPerMachine <= 0 {
+		c.MaxBEPerMachine = 15
+	}
+	if c.Spec.Cores == 0 {
+		c.Spec = cluster.DefaultSpec()
+	}
+	if c.Model.Gamma == 0 {
+		c.Model = interference.Default()
+	}
+	if c.InertiaTau == 0 {
+		c.InertiaTau = 4 * time.Second
+	}
+	if c.SLAGuard == 0 {
+		c.SLAGuard = 0.12
+	}
+	if c.SLAGuard < 0 {
+		c.SLAGuard = 0
+	}
+	return nil
+}
+
+// PodStats is the per-Servpod outcome of a run.
+type PodStats struct {
+	Pod string
+	// BEThroughput is the time-weighted mean normalized BE throughput on
+	// the pod's machine (§5.1's metric; 1.0 = a solo whole-machine run).
+	BEThroughput float64
+	// CPUUtil and MemBWUtil are time-weighted mean utilizations.
+	CPUUtil   float64
+	MemBWUtil float64
+	// EMU is the time-weighted mean effective machine utilization.
+	EMU float64
+	// Kills counts BE jobs killed by StopBE; Completions counts BE jobs
+	// that finished.
+	Kills       int
+	Completions int
+	// SojournSamples holds the pod's sojourn samples when
+	// Config.CollectSamples is set.
+	SojournSamples []float64
+}
+
+// ActionEvent is one controller decision in the timeline.
+type ActionEvent struct {
+	At     sim.Time
+	Pod    string
+	Action controller.Action
+}
+
+// RunStats is the outcome of an engine run.
+type RunStats struct {
+	Policy   string
+	Duration time.Duration
+	PerPod   map[string]*PodStats
+	// WorstP99 is the worst sliding-window p99 observed (the paper's SLA
+	// statistic); MeanP99 the time-averaged window p99.
+	WorstP99 float64
+	MeanP99  float64
+	// Violations counts control ticks whose window p99 exceeded the SLA.
+	Violations int
+	// E2ESamples holds end-to-end samples when CollectSamples is set.
+	E2ESamples []float64
+	// Series and Actions hold the Fig. 17 timeline when Timeline is set.
+	Series  map[string]*metrics.Series
+	Actions []ActionEvent
+}
+
+// MeanEMU returns the across-pod mean EMU.
+func (r *RunStats) MeanEMU() float64 {
+	var s float64
+	var n int
+	for _, p := range r.PerPod {
+		s += p.EMU
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// MeanBEThroughput returns the across-pod mean BE throughput.
+func (r *RunStats) MeanBEThroughput() float64 {
+	var s float64
+	var n int
+	for _, p := range r.PerPod {
+		s += p.BEThroughput
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// MeanCPUUtil returns the across-pod mean CPU utilization.
+func (r *RunStats) MeanCPUUtil() float64 {
+	var s float64
+	var n int
+	for _, p := range r.PerPod {
+		s += p.CPUUtil
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// MeanMemBWUtil returns the across-pod mean memory-bandwidth utilization.
+func (r *RunStats) MeanMemBWUtil() float64 {
+	var s float64
+	var n int
+	for _, p := range r.PerPod {
+		s += p.MemBWUtil
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// TotalKills sums BE kills across pods.
+func (r *RunStats) TotalKills() int {
+	n := 0
+	for _, p := range r.PerPod {
+		n += p.Kills
+	}
+	return n
+}
+
+// podRuntime is the mutable per-machine state.
+type podRuntime struct {
+	comp      *workload.Component
+	machine   *cluster.Machine
+	agent     *isolation.Agent
+	instances []*bejobs.Instance
+	beSeq     int
+	suspended bool
+	stats     *PodStats
+
+	cpu     metrics.Usage
+	mbw     metrics.Usage
+	bet     metrics.Usage
+	emu     metrics.Usage
+	rng     *sim.RNG
+	growSeq int
+
+	// Smoothed interference state (Config.InertiaTau).
+	smoothedInflate float64
+	smoothedCV      float64
+}
+
+// Engine executes one configured run.
+type Engine struct {
+	cfg   Config
+	pods  []*podRuntime
+	tail  *metrics.TailTracker
+	rng   *sim.RNG
+	stats *RunStats
+
+	meanP99Accum float64
+	meanP99N     int
+	lastObserve  sim.Time
+}
+
+// New builds an engine: one machine per Servpod, LC pinned per the
+// component's reservation.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:  cfg,
+		tail: metrics.NewTailTracker(3 * time.Second),
+		rng:  sim.NewRNG(cfg.Seed).Fork("engine"),
+		stats: &RunStats{
+			PerPod: make(map[string]*PodStats),
+			Series: make(map[string]*metrics.Series),
+		},
+	}
+	if cfg.Policy != nil {
+		e.stats.Policy = cfg.Policy.Name()
+	} else {
+		e.stats.Policy = "solo"
+	}
+	for i, comp := range cfg.Service.Components {
+		m := cluster.NewMachine(fmt.Sprintf("m%d", i), cfg.Spec)
+		agent := isolation.NewAgent(m, comp.Name)
+		if err := agent.PinLC(comp.Cores, comp.LLCWays, comp.MemoryGB, comp.MaxNetGbps); err != nil {
+			return nil, fmt.Errorf("engine: pinning %s: %w", comp.Name, err)
+		}
+		ps := &PodStats{Pod: comp.Name}
+		e.stats.PerPod[comp.Name] = ps
+		e.pods = append(e.pods, &podRuntime{
+			comp:    comp,
+			machine: m,
+			agent:   agent,
+			stats:   ps,
+			rng:     e.rng.Fork("pod-" + comp.Name),
+		})
+	}
+	return e, nil
+}
+
+// beDemand aggregates the running BE instances' pressure on the machine.
+func (p *podRuntime) beDemand() cluster.Vector {
+	var v cluster.Vector
+	for _, in := range p.instances {
+		if in.State != bejobs.Running {
+			continue
+		}
+		alloc := p.machine.Alloc(cluster.Owner{Kind: cluster.OwnerBE, Name: in.ID})
+		if alloc == nil {
+			continue
+		}
+		d := in.Demand(alloc.Cores)
+		// Throttled cores draw quadratically less power.
+		if alloc.FreqGHz > 0 && alloc.FreqGHz < p.machine.Spec.MaxGHz {
+			ratio := alloc.FreqGHz / p.machine.Spec.MaxGHz
+			d[cluster.ResPower] *= ratio * ratio
+		}
+		v = v.Add(d)
+	}
+	return v
+}
+
+// Run executes the configured run for the given duration of virtual time
+// and returns the collected statistics.
+func (e *Engine) Run(duration time.Duration) (*RunStats, error) {
+	if duration <= 0 {
+		return nil, fmt.Errorf("engine: non-positive run duration %v", duration)
+	}
+	clock := sim.NewClock()
+	e.stats.Duration = duration
+	end := sim.Time(0).Add(duration)
+
+	nextControl := sim.Time(0).Add(e.cfg.ControlPeriod)
+	for now := sim.Time(0); now < end; now = now.Add(e.cfg.TickDt) {
+		clock.RunUntil(now)
+		load := e.cfg.Pattern.Load(now)
+		e.tick(now, load)
+		if now >= nextControl {
+			e.controlTick(now, load)
+			nextControl = nextControl.Add(e.cfg.ControlPeriod)
+		}
+	}
+	return e.stats, nil
+}
+
+// tick advances the world by one TickDt at the given load fraction.
+func (e *Engine) tick(now sim.Time, load float64) {
+	dt := e.cfg.TickDt
+	qps := load * e.cfg.Service.MaxLoadQPS
+	measuring := now >= sim.Time(0).Add(e.cfg.Warmup)
+
+	// Per-pod sojourn distributions under current interference.
+	sojourns := make(map[string]interface {
+		Sample(*sim.RNG) float64
+	}, len(e.pods))
+	for _, p := range e.pods {
+		lcDemand := p.comp.DemandAt(load)
+		beDemand := p.beDemand()
+		press := e.cfg.Model.Pressure(p.machine.Spec, lcDemand, beDemand)
+		inflate, cvInflate := e.cfg.Model.Inflation(p.comp, press)
+		inflate, cvInflate = p.smooth(inflate, cvInflate, dt, e.cfg.InertiaTau)
+		sj := p.comp.Station.At(qps, inflate, cvInflate, 1)
+		sojourns[p.comp.Name] = sj
+
+		// Utilization accounting. LC cores are busy in proportion to
+		// station utilization; BE cores are fully busy while running.
+		beAlloc := p.runningBEAlloc()
+		lcBusy := float64(p.comp.Cores) * sj.Utilization
+		cpuUtil := (lcBusy + float64(beAlloc.Cores)) / float64(p.machine.Spec.Cores)
+		servedBW := lcDemand[cluster.ResMemBW] + minf(beDemand[cluster.ResMemBW], p.machine.Spec.MemBWGBs-lcDemand[cluster.ResMemBW])
+		mbwUtil := sim.Clamp(servedBW/p.machine.Spec.MemBWGBs, 0, 1)
+		if measuring {
+			p.cpu.Observe(cpuUtil, dt)
+			p.mbw.Observe(mbwUtil, dt)
+		}
+
+		// BE progress: satisfaction is limited by the bandwidth the
+		// machine can actually serve and by DVFS throttling.
+		sat := 1.0
+		if beDemand[cluster.ResMemBW] > 0 {
+			avail := p.machine.Spec.MemBWGBs - lcDemand[cluster.ResMemBW]
+			if avail < 0 {
+				avail = 0
+			}
+			sat = minf(sat, avail/beDemand[cluster.ResMemBW])
+		}
+		freqScale := p.agent.BEFrequency() / p.machine.Spec.MaxGHz
+		beRate := 0.0
+		for _, in := range p.instances {
+			alloc := p.machine.Alloc(cluster.Owner{Kind: cluster.OwnerBE, Name: in.ID})
+			if alloc == nil {
+				continue
+			}
+			// Cache-bound jobs also slow down when their CAT partition
+			// is smaller than their working set.
+			instSat := sat
+			if wanted := in.Spec.PerCore[cluster.ResLLC] * float64(alloc.Cores); wanted > 0 {
+				if cacheSat := float64(alloc.LLCWays) / wanted; cacheSat < instSat {
+					// Cache starvation degrades but does not stop
+					// progress (misses stream to DRAM).
+					if cacheSat < 0.2 {
+						cacheSat = 0.2
+					}
+					instSat = cacheSat
+				}
+			}
+			rate := in.Rate(alloc.Cores, instSat) * freqScale
+			p.stats.Completions += in.Advance(rate, dt.Hours())
+			beRate += rate
+		}
+		if measuring {
+			p.bet.Observe(beRate, dt)
+			p.emu.Observe(metrics.EMU(load, beRate), dt)
+		}
+		p.stats.BEThroughput = p.bet.Mean()
+		p.stats.CPUUtil = p.cpu.Mean()
+		p.stats.MemBWUtil = p.mbw.Mean()
+		p.stats.EMU = p.emu.Mean()
+	}
+
+	// End-to-end latency sampling through the call graph.
+	for i := 0; i < e.cfg.SamplesPerTick; i++ {
+		perPod := make(map[string]float64, len(e.pods))
+		lat := e.cfg.Service.Graph.Latency(func(c string) float64 {
+			v := sojourns[c].Sample(e.rng)
+			perPod[c] = v
+			return v
+		})
+		e.tail.Add(now, lat)
+		if e.cfg.CollectSamples {
+			e.stats.E2ESamples = append(e.stats.E2ESamples, lat)
+			for pod, v := range perPod {
+				ps := e.stats.PerPod[pod]
+				ps.SojournSamples = append(ps.SojournSamples, v)
+			}
+		}
+	}
+	// The paper records the p99 once per second (§5.1's SLA statistic);
+	// sample the sliding window on second boundaries only.
+	if measuring && now-e.lastObserve >= sim.Time(time.Second) {
+		e.lastObserve = now
+		e.tail.ObserveWindow(now)
+		worst, _ := e.tail.Worst()
+		e.stats.WorstP99 = worst
+	}
+}
+
+// smooth applies the first-order inertia of Config.InertiaTau to the
+// steady-state inflation targets.
+func (p *podRuntime) smooth(inflate, cvInflate float64, dt, tau time.Duration) (float64, float64) {
+	if tau < 0 {
+		return inflate, cvInflate
+	}
+	if p.smoothedInflate == 0 {
+		p.smoothedInflate, p.smoothedCV = 1, 1
+	}
+	alpha := 1 - math.Exp(-dt.Seconds()/tau.Seconds())
+	p.smoothedInflate += (inflate - p.smoothedInflate) * alpha
+	p.smoothedCV += (cvInflate - p.smoothedCV) * alpha
+	return p.smoothedInflate, p.smoothedCV
+}
+
+// runningBEAlloc sums allocations of running (not suspended) instances.
+func (p *podRuntime) runningBEAlloc() cluster.Alloc {
+	var a cluster.Alloc
+	for _, in := range p.instances {
+		if in.State != bejobs.Running {
+			continue
+		}
+		if al := p.machine.Alloc(cluster.Owner{Kind: cluster.OwnerBE, Name: in.ID}); al != nil {
+			a.Cores += al.Cores
+			a.LLCWays += al.LLCWays
+			a.MemoryGB += al.MemoryGB
+		}
+	}
+	return a
+}
+
+// controlTick runs the top controller and the four subcontrollers on every
+// machine (§3.5.2).
+func (e *Engine) controlTick(now sim.Time, load float64) {
+	p99 := e.tail.P99()
+	slack := 1.0
+	if e.cfg.SLA > 0 {
+		guarded := e.cfg.SLA * (1 - e.cfg.SLAGuard)
+		slack = (guarded - p99) / guarded
+	}
+	if now >= sim.Time(0).Add(e.cfg.Warmup) {
+		if e.cfg.SLA > 0 && p99 > e.cfg.SLA {
+			e.stats.Violations++
+		}
+		// Time-averaged window p99.
+		e.meanP99Accum += p99
+		e.meanP99N++
+		e.stats.MeanP99 = e.meanP99Accum / float64(e.meanP99N)
+	}
+
+	for _, p := range e.pods {
+		var act controller.Action
+		if e.cfg.Policy == nil || len(e.cfg.BETypes) == 0 {
+			act = controller.SuspendBE
+		} else {
+			act = e.cfg.Policy.Decide(p.comp.Name, load, slack)
+		}
+		e.apply(p, act, load, slack)
+		if e.cfg.Timeline {
+			e.stats.Actions = append(e.stats.Actions, ActionEvent{At: now, Pod: p.comp.Name, Action: act})
+			e.record(now, p, load, slack)
+		}
+	}
+}
+
+// apply executes a top-controller action through the subcontrollers.
+func (e *Engine) apply(p *podRuntime, act controller.Action, load, slack float64) {
+	switch act {
+	case controller.StopBE:
+		for _, in := range p.instances {
+			if in.State == bejobs.Running || in.State == bejobs.Suspended {
+				in.State = bejobs.Killed
+				p.stats.Kills++
+			}
+			p.agent.KillBE(in.ID)
+		}
+		p.instances = p.instances[:0]
+		p.suspended = false
+
+	case controller.SuspendBE:
+		// Pause: jobs keep their memory space but stop executing
+		// (§3.5.2); their cores and cache ways return to the pool so
+		// that resuming later re-grows from the minimal slice instead
+		// of slamming a full allocation back at high load.
+		for _, in := range p.instances {
+			if in.State == bejobs.Running {
+				in.State = bejobs.Suspended
+			}
+			p.agent.ParkBE(in.ID)
+		}
+		p.suspended = true
+
+	case controller.CutBE:
+		e.resume(p)
+		// The paper leaves CutBE's magnitude open ("reduces part of
+		// their allocated resources"); cut harder the deeper the slack
+		// has fallen into the band, so a fast-rising load sheds BE
+		// pressure before it violates.
+		steps := 1 + int(3*sim.Clamp(1-2*slack/maxSlacklimit(e.cfg.Policy, p.comp.Name), 0, 1))
+		for _, in := range p.instances {
+			for i := 0; i < steps; i++ {
+				p.agent.CutBE(in.ID)
+			}
+			p.agent.AdjustBEMemory(in.ID, false)
+		}
+
+	case controller.DisallowBEGrowth:
+		e.resume(p)
+
+	case controller.AllowBEGrowth:
+		e.resume(p)
+		// Memory subcontroller: every job gains a memory step (memory
+		// capacity is partitioned and interference-free). The CPU/LLC
+		// subcontroller works at one-core/10%-LLC granularity (§3.5.2):
+		// one instance grows per period, round-robin, so the latency
+		// impact of each step stays inside the slack band.
+		for _, in := range p.instances {
+			p.agent.AdjustBEMemory(in.ID, true)
+		}
+		if len(p.instances) > 0 {
+			p.growSeq++
+			in := p.instances[p.growSeq%len(p.instances)]
+			p.agent.GrowBE(in.ID)
+		}
+		if len(p.instances) < e.cfg.MaxBEPerMachine {
+			e.launch(p)
+		}
+	}
+
+	// Frequency subcontroller: throttle BE when the socket power budget
+	// is at risk, restore otherwise (§3.5.2).
+	lcDemand := p.comp.DemandAt(load)
+	draw := interference.PowerDraw(p.machine.Spec, lcDemand, p.beDemand())
+	if draw > 0.8*p.machine.Spec.TDPWatts {
+		p.agent.StepDownBEFrequency()
+	} else {
+		p.agent.RestoreBEFrequency()
+	}
+
+	// Network subcontroller: B_link - 1.2*B_LC to BE (§3.5.2).
+	p.agent.SetBENetwork(lcDemand[cluster.ResNetBW])
+}
+
+// resume restarts suspended instances from the minimal slice; instances
+// that cannot get a core yet stay suspended and retry next period.
+func (e *Engine) resume(p *podRuntime) {
+	if !p.suspended {
+		return
+	}
+	allUp := true
+	for _, in := range p.instances {
+		if in.State != bejobs.Suspended {
+			continue
+		}
+		if p.agent.UnparkBE(in.ID) {
+			in.State = bejobs.Running
+		} else {
+			allUp = false
+		}
+	}
+	p.suspended = !allUp
+}
+
+// launch admits one new BE instance with the §3.5.2 starting slice.
+func (e *Engine) launch(p *podRuntime) {
+	ty := e.cfg.BETypes[p.beSeq%len(e.cfg.BETypes)]
+	id := fmt.Sprintf("%s-%s-%d", p.comp.Name, ty, p.beSeq)
+	if err := p.agent.LaunchBE(id); err != nil {
+		return // no headroom; try again next period
+	}
+	in, err := bejobs.NewInstance(id, ty)
+	if err != nil {
+		p.agent.KillBE(id)
+		return
+	}
+	p.beSeq++
+	p.instances = append(p.instances, in)
+}
+
+// record appends the Fig. 17 series for one pod.
+func (e *Engine) record(now sim.Time, p *podRuntime, load, slack float64) {
+	add := func(name string, v float64) {
+		key := p.comp.Name + "/" + name
+		s, ok := e.stats.Series[key]
+		if !ok {
+			s = &metrics.Series{Name: key}
+			e.stats.Series[key] = s
+		}
+		s.Append(now, v)
+	}
+	beAlloc := p.runningBEAlloc()
+	running := 0
+	for _, in := range p.instances {
+		if in.State == bejobs.Running {
+			running++
+		}
+	}
+	add("load", load)
+	add("slack", slack)
+	add("cpu", p.cpu.Mean())
+	add("be_llc", float64(beAlloc.LLCWays))
+	add("be_cores", float64(beAlloc.Cores))
+	add("be_instances", float64(running))
+	add("be_throughput", p.bet.Mean())
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// slackLimiter is implemented by policies that expose their per-pod
+// slacklimit; the engine scales CutBE severity with it.
+type slackLimiter interface {
+	SlacklimitFor(pod string) float64
+}
+
+// maxSlacklimit returns the pod's slacklimit under the policy, defaulting
+// to Heracles' 0.10 when the policy does not expose one.
+func maxSlacklimit(pol controller.Policy, pod string) float64 {
+	if sl, ok := pol.(slackLimiter); ok {
+		if v := sl.SlacklimitFor(pod); v > 0 {
+			return v
+		}
+	}
+	return 0.10
+}

@@ -1,0 +1,204 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§2 and §5). Each experiment is a named generator that runs
+// the relevant pipeline on the simulation substrate and returns a typed
+// Table whose rows mirror the series the paper plots. The benchmark
+// harness (bench_test.go) and the rhythm CLI both print these tables.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"rhythm/internal/core"
+	"rhythm/internal/profiler"
+	"rhythm/internal/workload"
+)
+
+// Table is one regenerated figure or table.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes carries derived headline numbers (the values EXPERIMENTS.md
+	// compares against the paper).
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Note appends a formatted headline note.
+func (t *Table) Note(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table as aligned plain text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Options shapes an experiment run.
+type Options struct {
+	// Seed drives all randomness (default 2020, the paper's year).
+	Seed uint64
+	// Quick trades precision for speed: coarser sweeps and shorter runs.
+	// Benches and tests use Quick; the CLI defaults to the full scale.
+	Quick bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 2020
+	}
+	return o
+}
+
+// Context caches expensive shared state (deployed Rhythm systems) across
+// experiments in one process, mirroring the paper's profile-once design.
+type Context struct {
+	Opts Options
+
+	mu         sync.Mutex
+	systems    map[string]*core.System
+	grid       map[gridKey]*core.Comparison
+	sweepSlack []sweepPoint
+	sweepLoad  []sweepPoint
+}
+
+// NewContext returns a fresh experiment context.
+func NewContext(opts Options) *Context {
+	return &Context{Opts: opts.withDefaults(), systems: make(map[string]*core.System)}
+}
+
+// profileOptions returns the sweep configuration for the context scale.
+func (c *Context) profileOptions() profiler.Options {
+	if c.Opts.Quick {
+		return profiler.Options{
+			Levels:        []float64{0.1, 0.3, 0.5, 0.65, 0.75, 0.85, 0.93},
+			LevelDuration: 5 * time.Second,
+			UseTracer:     true,
+			TraceRequests: 300,
+			Seed:          c.Opts.Seed,
+		}
+	}
+	return profiler.Options{
+		LevelDuration: 12 * time.Second,
+		UseTracer:     true,
+		Seed:          c.Opts.Seed,
+	}
+}
+
+func (c *Context) slackOptions() profiler.SlackOptions {
+	if c.Opts.Quick {
+		return profiler.SlackOptions{StepDuration: 80 * time.Second, Seed: c.Opts.Seed + 1}
+	}
+	return profiler.SlackOptions{Seed: c.Opts.Seed + 1}
+}
+
+// System returns the deployed Rhythm system for the named service,
+// deploying (profiling + thresholding) on first use.
+func (c *Context) System(service string) (*core.System, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if sys, ok := c.systems[service]; ok {
+		return sys, nil
+	}
+	svc, err := workload.ByName(service)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.Deploy(svc, core.Options{
+		Profile: c.profileOptions(),
+		Slack:   c.slackOptions(),
+		Seed:    c.Opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.systems[service] = sys
+	return sys, nil
+}
+
+// Runner generates one experiment table.
+type Runner func(*Context) (*Table, error)
+
+// Experiment is a registry entry.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   Runner
+}
+
+var registry = map[string]Experiment{}
+
+func register(id, title string, run Runner) {
+	registry[id] = Experiment{ID: id, Title: title, Run: run}
+}
+
+// IDs returns the registered experiment identifiers, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns the registered experiment.
+func Get(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (have: %s)",
+			id, strings.Join(IDs(), ", "))
+	}
+	return e, nil
+}
+
+// Run executes the named experiment under the context.
+func (c *Context) Run(id string) (*Table, error) {
+	e, err := Get(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(c)
+}
+
+// f2 formats a float with 2 decimals; f3 with 3; pct as a percentage.
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+func ms(v float64) string  { return fmt.Sprintf("%.2fms", 1000*v) }

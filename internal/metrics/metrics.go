@@ -1,0 +1,152 @@
+// Package metrics implements the measurement side of the evaluation:
+// sliding-window tail-latency tracking (the per-second p99 the paper's
+// controllers and SLA definition use), utilization accounting, and the
+// EMU (effective machine utilization) throughput metric of §5.1.
+package metrics
+
+import (
+	"sort"
+	"time"
+
+	"rhythm/internal/sim"
+)
+
+// TailTracker keeps latency samples over a sliding window and reports tail
+// percentiles, mirroring the paper's per-second p99 monitoring.
+type TailTracker struct {
+	window  time.Duration
+	times   []sim.Time
+	values  []float64
+	worstAt sim.Time
+	worst   float64
+	// scratch avoids re-allocating the sort buffer on every quantile.
+	scratch []float64
+}
+
+// NewTailTracker returns a tracker with the given sliding window.
+func NewTailTracker(window time.Duration) *TailTracker {
+	if window <= 0 {
+		window = time.Second
+	}
+	return &TailTracker{window: window}
+}
+
+// Add records a latency sample observed at time t. Samples must arrive in
+// non-decreasing time order (the simulation is single-threaded).
+func (tt *TailTracker) Add(t sim.Time, v float64) {
+	tt.times = append(tt.times, t)
+	tt.values = append(tt.values, v)
+	tt.prune(t)
+}
+
+// prune drops samples older than the window.
+func (tt *TailTracker) prune(now sim.Time) {
+	cut := 0
+	for cut < len(tt.times) && now.Sub(tt.times[cut]) > tt.window {
+		cut++
+	}
+	if cut > 0 {
+		tt.times = tt.times[cut:]
+		tt.values = tt.values[cut:]
+	}
+}
+
+// N returns the number of samples currently in the window.
+func (tt *TailTracker) N() int { return len(tt.values) }
+
+// Quantile returns the q-quantile over the current window (0 when empty).
+func (tt *TailTracker) Quantile(q float64) float64 {
+	if len(tt.values) == 0 {
+		return 0
+	}
+	tt.scratch = append(tt.scratch[:0], tt.values...)
+	sort.Float64s(tt.scratch)
+	return sim.QuantileSorted(tt.scratch, q)
+}
+
+// P99 returns the 99th percentile over the current window.
+func (tt *TailTracker) P99() float64 { return tt.Quantile(0.99) }
+
+// ObserveWindow records the current window p99 at time t into the running
+// worst-case (the paper's SLA definition: worst per-second p99).
+func (tt *TailTracker) ObserveWindow(t sim.Time) {
+	p := tt.P99()
+	if p > tt.worst {
+		tt.worst = p
+		tt.worstAt = t
+	}
+}
+
+// Worst returns the worst window p99 observed so far and when it occurred.
+func (tt *TailTracker) Worst() (float64, sim.Time) { return tt.worst, tt.worstAt }
+
+// ResetWorst clears the running worst-case (used between profiling phases).
+func (tt *TailTracker) ResetWorst() { tt.worst, tt.worstAt = 0, 0 }
+
+// EMU is the effective machine utilization of §5.1:
+// LC throughput (load normalized to max load) plus BE throughput (jobs
+// finished per hour normalized to a solo machine run). It may exceed 1.
+func EMU(lcLoadFrac, beThroughput float64) float64 {
+	if lcLoadFrac < 0 {
+		lcLoadFrac = 0
+	}
+	if beThroughput < 0 {
+		beThroughput = 0
+	}
+	return lcLoadFrac + beThroughput
+}
+
+// Usage accumulates time-weighted utilization of one quantity.
+type Usage struct {
+	weighted float64 // integral of utilization over time
+	duration float64 // total observed seconds
+}
+
+// Observe records utilization u (0..1+) held for dt.
+func (u *Usage) Observe(util float64, dt time.Duration) {
+	if dt <= 0 {
+		return
+	}
+	s := dt.Seconds()
+	u.weighted += util * s
+	u.duration += s
+}
+
+// Mean returns the time-weighted mean utilization (0 when nothing was
+// observed).
+func (u *Usage) Mean() float64 {
+	if u.duration == 0 {
+		return 0
+	}
+	return u.weighted / u.duration
+}
+
+// Series is a named time series collected during a run (Fig. 17's rows).
+type Series struct {
+	Name   string
+	Times  []float64 // seconds
+	Values []float64
+}
+
+// Append adds one point.
+func (s *Series) Append(t sim.Time, v float64) {
+	s.Times = append(s.Times, t.Seconds())
+	s.Values = append(s.Values, v)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.Values) }
+
+// Max returns the maximum value (0 for an empty series).
+func (s *Series) Max() float64 {
+	m := 0.0
+	for i, v := range s.Values {
+		if i == 0 || v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean of the values.
+func (s *Series) Mean() float64 { return sim.Mean(s.Values) }

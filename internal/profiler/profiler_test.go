@@ -1,0 +1,215 @@
+package profiler
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"rhythm/internal/workload"
+)
+
+// coarse profiling options keep the tests fast while preserving shape.
+func coarseOpts() Options {
+	return Options{
+		Levels:        []float64{0.1, 0.3, 0.5, 0.65, 0.75, 0.85, 0.93},
+		LevelDuration: 6 * time.Second,
+		Seed:          42,
+	}
+}
+
+func profileECommerce(t *testing.T, useTracer bool) *Profile {
+	t.Helper()
+	opts := coarseOpts()
+	opts.UseTracer = useTracer
+	opts.TraceRequests = 300
+	p, err := Run(workload.ECommerce(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDeriveSLAPositiveAndStable(t *testing.T) {
+	svc := workload.ECommerce()
+	a, err := DeriveSLA(svc, 7, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DeriveSLA(svc, 7, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a <= 0 {
+		t.Fatalf("SLA = %v", a)
+	}
+	if a != b {
+		t.Fatalf("SLA derivation not deterministic: %v vs %v", a, b)
+	}
+	// Order of magnitude: the calibrated E-commerce should be within a
+	// factor ~4 of Table 1's 250 ms.
+	if a < 0.0625 || a > 1.0 {
+		t.Fatalf("derived SLA %v s implausibly far from the 250 ms target", a)
+	}
+}
+
+func TestProfileShapeMatchesFig6(t *testing.T) {
+	p := profileECommerce(t, false)
+	lp := p.LoadProfile
+
+	// Tail latency grows with load.
+	for i := 1; i < len(lp.Tail); i++ {
+		if lp.Tail[i] <= lp.Tail[i-1]*0.8 {
+			t.Fatalf("tail not growing: %v", lp.Tail)
+		}
+	}
+	// HAProxy contributes <5% of the overall latency (Fig. 6a).
+	last := len(lp.Levels) - 1
+	var total float64
+	for _, s := range lp.Sojourns {
+		total += s[last]
+	}
+	if frac := lp.Sojourns["Haproxy"][last] / total; frac > 0.05 {
+		t.Fatalf("HAProxy sojourn share %v, want < 0.05", frac)
+	}
+	// MySQL overtakes Tomcat at high load (its sojourn rises faster).
+	gLow := lp.Sojourns["MySQL"][1] / lp.Sojourns["Tomcat"][1]
+	gHigh := lp.Sojourns["MySQL"][last] / lp.Sojourns["Tomcat"][last]
+	if gHigh <= gLow {
+		t.Fatalf("MySQL/Tomcat ratio should grow with load: %v -> %v", gLow, gHigh)
+	}
+}
+
+func TestContributionsMatchPaperOrdering(t *testing.T) {
+	p := profileECommerce(t, false)
+	get := func(pod string) float64 {
+		c, ok := p.Contribution(pod)
+		if !ok {
+			t.Fatalf("missing contribution for %s", pod)
+		}
+		return c.Normalized
+	}
+	mysql, tomcat := get("MySQL"), get("Tomcat")
+	haproxy, amoeba := get("Haproxy"), get("Amoeba")
+	// §3.5.1: MySQL needs the largest slacklimit (largest contribution);
+	// HAProxy and Amoeba are small.
+	if !(mysql > tomcat && tomcat > haproxy && tomcat > amoeba) {
+		t.Fatalf("contribution ordering wrong: MySQL=%v Tomcat=%v Haproxy=%v Amoeba=%v",
+			mysql, tomcat, haproxy, amoeba)
+	}
+	var sum float64
+	for _, c := range p.Contributions {
+		sum += c.Normalized
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("normalized contributions sum to %v", sum)
+	}
+}
+
+func TestTracerAndBuiltinMeansAgree(t *testing.T) {
+	direct := profileECommerce(t, false)
+	traced := profileECommerce(t, true)
+	for _, pod := range []string{"Haproxy", "Tomcat", "Amoeba", "MySQL"} {
+		d := direct.LoadProfile.Sojourns[pod]
+		tr := traced.LoadProfile.Sojourns[pod]
+		for i := range d {
+			if d[i] <= 0 {
+				t.Fatalf("%s: non-positive sojourn", pod)
+			}
+			if rel := math.Abs(d[i]-tr[i]) / d[i]; rel > 0.25 {
+				t.Fatalf("%s level %d: tracer mean %v vs built-in %v (rel %v)",
+					pod, i, tr[i], d[i], rel)
+			}
+		}
+	}
+}
+
+func TestLoadlimitsOrderedBySensitivityOfVariance(t *testing.T) {
+	p := profileECommerce(t, false)
+	my := p.Loadlimits["MySQL"]
+	to := p.Loadlimits["Tomcat"]
+	if my <= 0 || my > 1 || to <= 0 || to > 1 {
+		t.Fatalf("loadlimits out of range: MySQL %v Tomcat %v", my, to)
+	}
+	// Fig. 8: MySQL's CoV knee appears earlier than Tomcat's
+	// (0.76 vs 0.87 in the paper).
+	if my >= to {
+		t.Fatalf("MySQL loadlimit %v should be below Tomcat's %v", my, to)
+	}
+}
+
+func TestFanOutUsesBuiltinTracing(t *testing.T) {
+	opts := coarseOpts()
+	opts.UseTracer = true // must be ignored for fan-out services
+	p, err := Run(workload.SNMS(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// UserService dominates contributions, MediaService is off the
+	// critical path (§5.3.2 reports 0.565 / 0.295 / 0.14).
+	us, _ := p.Contribution("UserService")
+	ms, _ := p.Contribution("MediaService")
+	fe, _ := p.Contribution("frontend")
+	if !(us.Normalized > ms.Normalized && ms.Normalized > fe.Normalized) {
+		t.Fatalf("SNMS ordering: user=%v media=%v frontend=%v",
+			us.Normalized, ms.Normalized, fe.Normalized)
+	}
+	if ms.Alpha >= 1 {
+		t.Fatalf("MediaService should be off the critical path, alpha=%v", ms.Alpha)
+	}
+	if us.Alpha != 1 || fe.Alpha != 1 {
+		t.Fatal("critical-path pods should have alpha 1")
+	}
+}
+
+func TestFindSlacklimits(t *testing.T) {
+	p := profileECommerce(t, false)
+	sl, err := FindSlacklimits(p, SlackOptions{
+		StepDuration: 0,
+		Seed:         11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pod, v := range sl {
+		if v <= 0 || v > 1 {
+			t.Fatalf("%s slacklimit %v out of (0,1]", pod, v)
+		}
+	}
+	// §3.5.1: MySQL ends with a much larger slacklimit than the
+	// low-contribution pods, so many more BEs land on Amoeba/HAProxy.
+	if !(sl["MySQL"] > sl["Amoeba"] && sl["MySQL"] > sl["Haproxy"]) {
+		t.Fatalf("slacklimits: %v", sl)
+	}
+}
+
+func TestThresholdsAssembly(t *testing.T) {
+	p := profileECommerce(t, false)
+	sl := map[string]float64{
+		"Haproxy": 0.032, "Tomcat": 0.078, "Amoeba": 0.04, "MySQL": 0.347,
+	}
+	th, err := Thresholds(p, sl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(th) != 4 {
+		t.Fatalf("thresholds = %v", th)
+	}
+	if th["MySQL"].Slacklimit != 0.347 || th["MySQL"].Loadlimit != p.Loadlimits["MySQL"] {
+		t.Fatalf("MySQL thresholds = %+v", th["MySQL"])
+	}
+	delete(sl, "MySQL")
+	if _, err := Thresholds(p, sl); err == nil {
+		t.Fatal("missing slacklimit accepted")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	svc := workload.ECommerce()
+	svc.MaxLoadQPS = -1
+	if _, err := Run(svc, coarseOpts()); err == nil {
+		t.Fatal("invalid service accepted")
+	}
+	if _, err := FindSlacklimits(&Profile{Service: workload.ECommerce()}, SlackOptions{}); err == nil {
+		t.Fatal("profile without contributions accepted")
+	}
+}

@@ -1,0 +1,190 @@
+// Package queueing provides the analytic station model that underlies every
+// simulated LC component: an M/M/c queue (Erlang-C waiting) whose service
+// tail is lognormal. It converts an offered load and an interference
+// inflation factor into a sojourn-time distribution with load-dependent
+// mean, variance and p99 — the same qualitative shape as Fig. 6 of the
+// paper (slow growth, then a knee near saturation).
+//
+// The model deliberately separates:
+//   - queueing delay, which grows with utilization (Erlang-C), and
+//   - service time, whose mean is inflated multiplicatively by interference
+//     and whose variability (CV) grows with both load and interference.
+package queueing
+
+import (
+	"fmt"
+
+	"rhythm/internal/sim"
+)
+
+// Station models one service component deployed with c parallel workers.
+type Station struct {
+	// BaseService is the uncontended mean service time per request in
+	// seconds at the nominal frequency.
+	BaseService float64
+	// BaseCV is the uncontended service-time coefficient of variation.
+	BaseCV float64
+	// Workers is the number of parallel servers (threads pinned to cores).
+	Workers int
+	// LoadCVGrowth scales how much the sojourn CV grows as utilization
+	// approaches 1; components with bursty behaviour (MySQL in the paper)
+	// use larger values than steady ones (Amoeba).
+	LoadCVGrowth float64
+	// ServiceLoadFactor inflates the mean service time itself as load
+	// rises (lock and buffer-pool contention in database-like
+	// components): service *= 1 + factor*rho^2. Zero for components
+	// whose per-request work is load-independent.
+	ServiceLoadFactor float64
+}
+
+// Validate reports a descriptive error when the station parameters are
+// unusable.
+func (s Station) Validate() error {
+	if s.BaseService <= 0 {
+		return fmt.Errorf("queueing: base service must be positive, got %g", s.BaseService)
+	}
+	if s.BaseCV < 0 {
+		return fmt.Errorf("queueing: base CV must be non-negative, got %g", s.BaseCV)
+	}
+	if s.Workers <= 0 {
+		return fmt.Errorf("queueing: workers must be positive, got %d", s.Workers)
+	}
+	return nil
+}
+
+// ErlangC returns the probability that an arriving request must wait in an
+// M/M/c queue with offered load a = lambda/mu and c servers. It uses the
+// numerically stable iterative form of the Erlang-B recursion.
+func ErlangC(c int, a float64) float64 {
+	if c <= 0 {
+		return 1
+	}
+	if a <= 0 {
+		return 0
+	}
+	rho := a / float64(c)
+	if rho >= 1 {
+		return 1
+	}
+	// Erlang-B via recursion: B(0)=1; B(k) = a*B(k-1)/(k + a*B(k-1)).
+	b := 1.0
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	// Erlang-C from Erlang-B.
+	return b / (1 - rho*(1-b))
+}
+
+// Sojourn is the analytic sojourn-time distribution of a station at a given
+// operating point.
+type Sojourn struct {
+	MeanWait    float64 // mean queueing delay, seconds
+	MeanService float64 // mean (inflated) service time, seconds
+	CV          float64 // coefficient of variation of the total sojourn
+	Utilization float64 // rho = lambda / (c * mu')
+	dist        sim.Lognormal
+}
+
+// Mean returns the mean sojourn time (wait + service).
+func (s Sojourn) Mean() float64 { return s.MeanWait + s.MeanService }
+
+// P99 returns the analytic 99th percentile of the sojourn distribution.
+func (s Sojourn) P99() float64 { return s.dist.Quantile(0.99) }
+
+// Quantile returns the q-quantile of the sojourn distribution.
+func (s Sojourn) Quantile(q float64) float64 { return s.dist.Quantile(q) }
+
+// Sample draws one sojourn time.
+func (s Sojourn) Sample(r *sim.RNG) float64 { return s.dist.Sample(r) }
+
+// maxUtilization caps the modeled utilization so that the system stays
+// (barely) stable even when callers push the offered load to or beyond the
+// nominal maximum: real servers shed latency to 'infinite' queues slowly,
+// and the controller must still read finite latencies at 100% load.
+const maxUtilization = 0.985
+
+// At returns the sojourn distribution when requests arrive at rate lambda
+// (per second) and interference inflates the mean service time by the
+// factor inflate (>= 1) and the service-time CV by cvInflate (>= 1).
+// freqScale scales the service rate for DVFS (1 = nominal frequency).
+func (s Station) At(lambda, inflate, cvInflate, freqScale float64) Sojourn {
+	if inflate < 1 {
+		inflate = 1
+	}
+	if cvInflate < 1 {
+		cvInflate = 1
+	}
+	if freqScale <= 0 {
+		freqScale = 1
+	}
+	service := s.BaseService * inflate / freqScale
+	if s.ServiceLoadFactor > 0 {
+		// Internal contention grows with nominal utilization.
+		rhoNom := lambda * service / float64(s.Workers)
+		if rhoNom > 1 {
+			rhoNom = 1
+		}
+		service *= 1 + s.ServiceLoadFactor*rhoNom*rhoNom
+	}
+	mu := 1 / service
+	a := lambda / mu // offered load in Erlangs
+	rho := a / float64(s.Workers)
+	if rho > maxUtilization {
+		rho = maxUtilization
+		a = rho * float64(s.Workers)
+	}
+	pWait := ErlangC(s.Workers, a)
+	// Mean M/M/c waiting time: Pwait / (c*mu - lambda).
+	meanWait := 0.0
+	if denom := float64(s.Workers)*mu - a*mu; denom > 0 {
+		meanWait = pWait / denom
+	}
+	// Sojourn CV: base service variability, amplified by utilization
+	// (queueing adds variance) and by interference burstiness. Real
+	// servers shed or reject work before their tails become unbounded,
+	// so the CV saturates at maxCV.
+	const maxCV = 2.0
+	cv := s.BaseCV * cvInflate * (1 + s.LoadCVGrowth*rho*rho*rho*rho/(1-rho+0.05))
+	if cv > maxCV {
+		cv = maxCV
+	}
+	mean := meanWait + service
+	return Sojourn{
+		MeanWait:    meanWait,
+		MeanService: service,
+		CV:          cv,
+		Utilization: rho,
+		dist:        sim.NewLognormal(mean, cv),
+	}
+}
+
+// Solo returns the uncontended sojourn distribution at arrival rate lambda.
+func (s Station) Solo(lambda float64) Sojourn { return s.At(lambda, 1, 1, 1) }
+
+// MaxRate returns the arrival rate at which the station saturates
+// (utilization = 1) without interference.
+func (s Station) MaxRate() float64 {
+	return float64(s.Workers) / s.BaseService
+}
+
+// P99 of a path: given per-stage sojourns, the end-to-end p99 is estimated
+// by sampling because stage distributions are dependent through load but
+// modeled independent here; the analytic convolution of lognormals has no
+// closed form.
+//
+// PathP99 estimates the p99 of the sum of the given sojourns using n Monte
+// Carlo samples from r.
+func PathP99(stages []Sojourn, n int, r *sim.RNG) float64 {
+	if len(stages) == 0 || n <= 0 {
+		return 0
+	}
+	xs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		t := 0.0
+		for _, s := range stages {
+			t += s.Sample(r)
+		}
+		xs[i] = t
+	}
+	return sim.Quantile(xs, 0.99)
+}

@@ -1,0 +1,203 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rhythm/internal/sim"
+)
+
+func TestErlangCKnownValues(t *testing.T) {
+	// Classic value: c=10, a=8 Erlangs -> P(wait) ~ 0.409.
+	if got := ErlangC(10, 8); math.Abs(got-0.409) > 0.005 {
+		t.Fatalf("ErlangC(10,8) = %v, want ~0.409", got)
+	}
+	// Single server: M/M/1 P(wait) = rho.
+	if got := ErlangC(1, 0.5); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("ErlangC(1,0.5) = %v, want 0.5", got)
+	}
+}
+
+func TestErlangCBoundaries(t *testing.T) {
+	if ErlangC(5, 0) != 0 {
+		t.Fatal("no load should mean no waiting")
+	}
+	if ErlangC(5, 5) != 1 {
+		t.Fatal("saturated queue should always wait")
+	}
+	if ErlangC(0, 1) != 1 {
+		t.Fatal("no servers should always wait")
+	}
+	if ErlangC(5, 100) != 1 {
+		t.Fatal("overloaded queue should always wait")
+	}
+}
+
+func TestErlangCMonotoneInLoad(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := sim.NewRNG(seed)
+		c := 1 + r.Intn(40)
+		a1 := r.Float64() * float64(c) * 0.95
+		a2 := a1 + r.Float64()*(float64(c)*0.99-a1)
+		return ErlangC(c, a1) <= ErlangC(c, a2)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErlangCMonotoneInServers(t *testing.T) {
+	// More servers at the same offered load wait less.
+	for c := 2; c <= 30; c++ {
+		if ErlangC(c, 1.5) > ErlangC(c-1, 1.5)+1e-12 {
+			t.Fatalf("ErlangC not decreasing in c at c=%d", c)
+		}
+	}
+}
+
+func defaultStation() Station {
+	return Station{BaseService: 0.010, BaseCV: 0.4, Workers: 8, LoadCVGrowth: 0.8}
+}
+
+func TestStationValidate(t *testing.T) {
+	if err := defaultStation().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Station{
+		{BaseService: 0, BaseCV: 1, Workers: 1},
+		{BaseService: 1, BaseCV: -1, Workers: 1},
+		{BaseService: 1, BaseCV: 1, Workers: 0},
+	}
+	for i, s := range bad {
+		if s.Validate() == nil {
+			t.Errorf("case %d: invalid station accepted", i)
+		}
+	}
+}
+
+func TestSojournGrowsWithLoad(t *testing.T) {
+	s := defaultStation()
+	max := s.MaxRate()
+	prevMean, prevP99 := 0.0, 0.0
+	for _, frac := range []float64{0.1, 0.3, 0.5, 0.7, 0.85, 0.95} {
+		sj := s.Solo(frac * max)
+		if sj.Mean() <= prevMean {
+			t.Fatalf("mean sojourn not increasing at load %v", frac)
+		}
+		if sj.P99() <= prevP99 {
+			t.Fatalf("p99 not increasing at load %v", frac)
+		}
+		prevMean, prevP99 = sj.Mean(), sj.P99()
+	}
+}
+
+func TestSojournMinimumIsServiceTime(t *testing.T) {
+	s := defaultStation()
+	sj := s.Solo(0.01 * s.MaxRate())
+	if sj.Mean() < s.BaseService {
+		t.Fatalf("mean %v below base service %v", sj.Mean(), s.BaseService)
+	}
+	if sj.Mean() > s.BaseService*1.05 {
+		t.Fatalf("near-idle mean %v should be close to base %v", sj.Mean(), s.BaseService)
+	}
+}
+
+func TestInterferenceInflatesSojourn(t *testing.T) {
+	s := defaultStation()
+	lambda := 0.5 * s.MaxRate()
+	solo := s.Solo(lambda)
+	inflated := s.At(lambda, 1.5, 1.2, 1)
+	if inflated.Mean() <= solo.Mean() {
+		t.Fatal("interference should inflate mean sojourn")
+	}
+	if inflated.P99() <= solo.P99() {
+		t.Fatal("interference should inflate p99")
+	}
+	// Inflation also raises utilization (same arrivals, slower service).
+	if inflated.Utilization <= solo.Utilization {
+		t.Fatal("interference should raise utilization")
+	}
+}
+
+func TestDVFSSlowdown(t *testing.T) {
+	s := defaultStation()
+	lambda := 0.4 * s.MaxRate()
+	fast := s.At(lambda, 1, 1, 1.0)
+	slow := s.At(lambda, 1, 1, 0.6) // 60% frequency
+	if slow.Mean() <= fast.Mean() {
+		t.Fatal("reducing frequency should slow the station")
+	}
+	if got, want := slow.MeanService, fast.MeanService/0.6; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("service scaling: got %v want %v", got, want)
+	}
+}
+
+func TestOverloadStaysFinite(t *testing.T) {
+	s := defaultStation()
+	sj := s.At(10*s.MaxRate(), 2, 2, 1)
+	if math.IsInf(sj.Mean(), 0) || math.IsNaN(sj.Mean()) {
+		t.Fatalf("overloaded sojourn not finite: %v", sj.Mean())
+	}
+	if sj.Utilization > 0.99 {
+		t.Fatalf("utilization cap not applied: %v", sj.Utilization)
+	}
+}
+
+func TestSojournSamplingMatchesAnalytic(t *testing.T) {
+	s := defaultStation()
+	sj := s.Solo(0.6 * s.MaxRate())
+	r := sim.NewRNG(3)
+	var w sim.Welford
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = sj.Sample(r)
+		w.Add(xs[i])
+	}
+	if math.Abs(w.Mean()-sj.Mean())/sj.Mean() > 0.03 {
+		t.Fatalf("sample mean %v vs analytic %v", w.Mean(), sj.Mean())
+	}
+	emp := sim.Quantile(xs, 0.99)
+	if math.Abs(emp-sj.P99())/sj.P99() > 0.08 {
+		t.Fatalf("sample p99 %v vs analytic %v", emp, sj.P99())
+	}
+}
+
+func TestCVGrowsWithLoad(t *testing.T) {
+	s := defaultStation()
+	lo := s.Solo(0.2 * s.MaxRate())
+	hi := s.Solo(0.9 * s.MaxRate())
+	if hi.CV <= lo.CV {
+		t.Fatalf("CV should grow with load: %v vs %v", hi.CV, lo.CV)
+	}
+}
+
+func TestPathP99AtLeastSingleStage(t *testing.T) {
+	s := defaultStation()
+	sj := s.Solo(0.5 * s.MaxRate())
+	r := sim.NewRNG(7)
+	one := PathP99([]Sojourn{sj}, 20000, r)
+	two := PathP99([]Sojourn{sj, sj}, 20000, sim.NewRNG(7))
+	if two <= one {
+		t.Fatalf("two stages should have higher p99: %v vs %v", two, one)
+	}
+	if PathP99(nil, 100, r) != 0 {
+		t.Fatal("empty path should be 0")
+	}
+}
+
+func TestAtClampsDegenerateInputs(t *testing.T) {
+	s := defaultStation()
+	sj := s.At(0.5*s.MaxRate(), 0.5, 0.1, -1) // inflate<1, cvInflate<1, freq<=0
+	solo := s.Solo(0.5 * s.MaxRate())
+	if math.Abs(sj.Mean()-solo.Mean()) > 1e-12 {
+		t.Fatal("degenerate inputs should clamp to solo behaviour")
+	}
+}
+
+func TestMaxRate(t *testing.T) {
+	s := Station{BaseService: 0.010, BaseCV: 0.3, Workers: 10}
+	if got := s.MaxRate(); math.Abs(got-1000) > 1e-9 {
+		t.Fatalf("MaxRate = %v, want 1000", got)
+	}
+}

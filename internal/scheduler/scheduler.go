@@ -1,0 +1,162 @@
+// Package scheduler implements the cluster-level BE dispatch loop of §4
+// ("Interact with scheduler"): BE jobs wait in a queue; each machine's top
+// controller periodically notifies the scheduler whether it currently
+// accepts BE jobs; the scheduler dispatches queued jobs to accepting
+// machines with sufficient resources, and re-queues jobs whose machines
+// later kill them.
+//
+// The engine embeds a per-machine admission loop for single-service runs;
+// this package provides the multi-machine, multi-tenant view a datacenter
+// deployment needs: fair dispatch across machines, bounded queue, and
+// accounting of waiting times.
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+
+	"rhythm/internal/bejobs"
+	"rhythm/internal/sim"
+)
+
+// Job is one queued BE job.
+type Job struct {
+	ID          string
+	Type        bejobs.Type
+	SubmittedAt sim.Time
+}
+
+// MachineState is a machine's report to the scheduler: the §4 feedback
+// from the top controller plus free capacity.
+type MachineState struct {
+	Name string
+	// Accepting mirrors the top controller's notification: true only
+	// when the machine's current action admits BE growth.
+	Accepting bool
+	// FreeCores and FreeMemoryGB bound what a dispatch may assume.
+	FreeCores    int
+	FreeMemoryGB float64
+	// Resident counts BE instances already on the machine.
+	Resident int
+}
+
+// Assignment is one dispatch decision.
+type Assignment struct {
+	Job     Job
+	Machine string
+	// Waited is how long the job sat in the queue.
+	Waited sim.Time
+}
+
+// Scheduler is the BE job queue plus dispatch logic. It is not safe for
+// concurrent use; the simulation is single-threaded.
+type Scheduler struct {
+	limit   int
+	queue   []Job
+	seq     int
+	dropped int
+
+	dispatched int
+	totalWait  sim.Time
+}
+
+// New returns a scheduler with the given queue capacity (jobs submitted
+// beyond it are rejected, like any admission-controlled batch system).
+func New(queueLimit int) *Scheduler {
+	if queueLimit <= 0 {
+		queueLimit = 1024
+	}
+	return &Scheduler{limit: queueLimit}
+}
+
+// Submit enqueues a BE job. It returns the job (with its assigned ID) or
+// an error when the queue is full.
+func (s *Scheduler) Submit(t bejobs.Type, now sim.Time) (Job, error) {
+	if _, err := bejobs.Lookup(t); err != nil {
+		return Job{}, err
+	}
+	if len(s.queue) >= s.limit {
+		s.dropped++
+		return Job{}, fmt.Errorf("scheduler: queue full (%d jobs)", s.limit)
+	}
+	s.seq++
+	j := Job{ID: fmt.Sprintf("be-%d", s.seq), Type: t, SubmittedAt: now}
+	s.queue = append(s.queue, j)
+	return j, nil
+}
+
+// Requeue puts a killed job back at the head of the queue (BE jobs are
+// "second-class citizens" that may be rescheduled at any time — §1).
+func (s *Scheduler) Requeue(j Job) {
+	if len(s.queue) >= s.limit {
+		s.dropped++
+		return
+	}
+	s.queue = append([]Job{j}, s.queue...)
+}
+
+// Pending returns the number of queued jobs.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// Dropped returns how many submissions were rejected.
+func (s *Scheduler) Dropped() int { return s.dropped }
+
+// MeanWait returns the mean queueing delay of dispatched jobs.
+func (s *Scheduler) MeanWait() sim.Time {
+	if s.dispatched == 0 {
+		return 0
+	}
+	return s.totalWait / sim.Time(s.dispatched)
+}
+
+// Dispatch assigns queued jobs to accepting machines, FIFO over the queue
+// and least-loaded-first over the machines (fewest resident BE instances,
+// then most free cores), one job per machine per call — matching the
+// engine's one-launch-per-control-period admission. Machines must have at
+// least one free core and the job's memory footprint available.
+func (s *Scheduler) Dispatch(machines []MachineState, now sim.Time) []Assignment {
+	if len(s.queue) == 0 || len(machines) == 0 {
+		return nil
+	}
+	avail := make([]MachineState, 0, len(machines))
+	for _, m := range machines {
+		if m.Accepting && m.FreeCores >= 1 {
+			avail = append(avail, m)
+		}
+	}
+	sort.Slice(avail, func(i, j int) bool {
+		if avail[i].Resident != avail[j].Resident {
+			return avail[i].Resident < avail[j].Resident
+		}
+		if avail[i].FreeCores != avail[j].FreeCores {
+			return avail[i].FreeCores > avail[j].FreeCores
+		}
+		return avail[i].Name < avail[j].Name
+	})
+
+	var out []Assignment
+	for _, m := range avail {
+		if len(s.queue) == 0 {
+			break
+		}
+		// FIFO with a skip for jobs whose footprint does not fit.
+		idx := -1
+		for qi, j := range s.queue {
+			spec := bejobs.MustLookup(j.Type)
+			if m.FreeMemoryGB >= spec.MemoryGB {
+				idx = qi
+				break
+			}
+		}
+		if idx < 0 {
+			continue
+		}
+		j := s.queue[idx]
+		s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
+		waited := now - j.SubmittedAt
+		s.dispatched++
+		s.totalWait += waited
+		out = append(out, Assignment{Job: j, Machine: m.Name, Waited: waited})
+	}
+	return out
+}

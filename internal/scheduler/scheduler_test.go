@@ -1,0 +1,194 @@
+package scheduler
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rhythm/internal/bejobs"
+	"rhythm/internal/sim"
+)
+
+func TestSubmitAndDispatchFIFO(t *testing.T) {
+	s := New(10)
+	j1, err := s.Submit(bejobs.Wordcount, sim.FromSeconds(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := s.Submit(bejobs.LSTM, sim.FromSeconds(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := s.Dispatch([]MachineState{
+		{Name: "m0", Accepting: true, FreeCores: 10, FreeMemoryGB: 100},
+		{Name: "m1", Accepting: true, FreeCores: 10, FreeMemoryGB: 100},
+	}, sim.FromSeconds(5))
+	if len(as) != 2 {
+		t.Fatalf("assignments = %d, want 2", len(as))
+	}
+	if as[0].Job.ID != j1.ID || as[1].Job.ID != j2.ID {
+		t.Fatalf("not FIFO: %v", as)
+	}
+	if as[0].Waited != sim.FromSeconds(5) {
+		t.Fatalf("waited = %v", as[0].Waited)
+	}
+	if s.Pending() != 0 {
+		t.Fatal("queue should drain")
+	}
+}
+
+func TestOnlyAcceptingMachinesReceive(t *testing.T) {
+	s := New(10)
+	if _, err := s.Submit(bejobs.CPUStress, 0); err != nil {
+		t.Fatal(err)
+	}
+	as := s.Dispatch([]MachineState{
+		{Name: "m0", Accepting: false, FreeCores: 10, FreeMemoryGB: 100},
+		{Name: "m1", Accepting: true, FreeCores: 0, FreeMemoryGB: 100},
+	}, 0)
+	if len(as) != 0 {
+		t.Fatalf("dispatched to non-accepting/full machine: %v", as)
+	}
+	if s.Pending() != 1 {
+		t.Fatal("job should stay queued")
+	}
+}
+
+func TestLeastLoadedFirst(t *testing.T) {
+	s := New(10)
+	if _, err := s.Submit(bejobs.Wordcount, 0); err != nil {
+		t.Fatal(err)
+	}
+	as := s.Dispatch([]MachineState{
+		{Name: "busy", Accepting: true, FreeCores: 20, FreeMemoryGB: 100, Resident: 5},
+		{Name: "idle", Accepting: true, FreeCores: 10, FreeMemoryGB: 100, Resident: 0},
+	}, 0)
+	if len(as) != 1 || as[0].Machine != "idle" {
+		t.Fatalf("assignments = %v, want idle machine first", as)
+	}
+}
+
+func TestMemoryFootprintSkip(t *testing.T) {
+	s := New(10)
+	// LSTM needs 3 GB; CPU-stress 0.5 GB.
+	if _, err := s.Submit(bejobs.LSTM, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(bejobs.CPUStress, 0); err != nil {
+		t.Fatal(err)
+	}
+	as := s.Dispatch([]MachineState{
+		{Name: "tight", Accepting: true, FreeCores: 4, FreeMemoryGB: 1},
+	}, 0)
+	if len(as) != 1 || as[0].Job.Type != bejobs.CPUStress {
+		t.Fatalf("should skip the over-sized job: %v", as)
+	}
+	if s.Pending() != 1 {
+		t.Fatal("LSTM should remain queued")
+	}
+}
+
+func TestQueueLimitAndDrops(t *testing.T) {
+	s := New(2)
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit(bejobs.Wordcount, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Submit(bejobs.Wordcount, 0); err == nil {
+		t.Fatal("over-limit submission accepted")
+	}
+	if s.Dropped() != 1 {
+		t.Fatalf("dropped = %d", s.Dropped())
+	}
+}
+
+func TestUnknownTypeRejected(t *testing.T) {
+	s := New(2)
+	if _, err := s.Submit("miner", 0); err == nil {
+		t.Fatal("unknown BE type accepted")
+	}
+}
+
+func TestRequeueGoesToHead(t *testing.T) {
+	s := New(10)
+	if _, err := s.Submit(bejobs.Wordcount, 0); err != nil {
+		t.Fatal(err)
+	}
+	killed := Job{ID: "be-old", Type: bejobs.LSTM, SubmittedAt: 0}
+	s.Requeue(killed)
+	as := s.Dispatch([]MachineState{
+		{Name: "m0", Accepting: true, FreeCores: 4, FreeMemoryGB: 100},
+	}, 0)
+	if len(as) != 1 || as[0].Job.ID != "be-old" {
+		t.Fatalf("requeued job should dispatch first: %v", as)
+	}
+}
+
+func TestMeanWaitAccounting(t *testing.T) {
+	s := New(10)
+	if _, err := s.Submit(bejobs.Wordcount, sim.FromSeconds(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(bejobs.Wordcount, sim.FromSeconds(2)); err != nil {
+		t.Fatal(err)
+	}
+	s.Dispatch([]MachineState{
+		{Name: "a", Accepting: true, FreeCores: 2, FreeMemoryGB: 10},
+		{Name: "b", Accepting: true, FreeCores: 2, FreeMemoryGB: 10},
+	}, sim.FromSeconds(4))
+	// Waits: 4s and 2s -> mean 3s.
+	if got := s.MeanWait(); got != sim.FromSeconds(3) {
+		t.Fatalf("mean wait = %v, want 3s", got)
+	}
+	if New(1).MeanWait() != 0 {
+		t.Fatal("empty scheduler mean wait should be 0")
+	}
+}
+
+// Property: dispatch never assigns more jobs than queued or than accepting
+// machines, never duplicates a job, and the queue+assignments conserve the
+// submitted set.
+func TestDispatchConservationProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := sim.NewRNG(seed)
+		s := New(100)
+		types := bejobs.Types()
+		n := 1 + r.Intn(20)
+		ids := map[string]bool{}
+		for i := 0; i < n; i++ {
+			j, err := s.Submit(types[r.Intn(len(types))], sim.Time(i))
+			if err != nil {
+				return false
+			}
+			ids[j.ID] = true
+		}
+		var machines []MachineState
+		m := 1 + r.Intn(6)
+		for i := 0; i < m; i++ {
+			machines = append(machines, MachineState{
+				Name:         string(rune('a' + i)),
+				Accepting:    r.Float64() < 0.7,
+				FreeCores:    r.Intn(10),
+				FreeMemoryGB: r.Float64() * 10,
+				Resident:     r.Intn(5),
+			})
+		}
+		as := s.Dispatch(machines, sim.FromSeconds(100))
+		if len(as) > n || len(as) > m {
+			return false
+		}
+		seen := map[string]bool{}
+		usedMachine := map[string]bool{}
+		for _, a := range as {
+			if seen[a.Job.ID] || usedMachine[a.Machine] || !ids[a.Job.ID] {
+				return false
+			}
+			seen[a.Job.ID] = true
+			usedMachine[a.Machine] = true
+		}
+		return s.Pending()+len(as) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual simulation time. The zero Time is the start of
+// the simulation. Internally it is nanoseconds, like time.Duration, so
+// arithmetic composes with the standard library's duration constants.
+type Time int64
+
+// Add returns t shifted by d.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t - u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Seconds returns t as floating-point seconds since the simulation start.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+// FromSeconds converts floating-point seconds to a Time.
+func FromSeconds(s float64) Time { return Time(s * float64(time.Second)) }
+
+// String formats the time as a duration since the simulation start.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a scheduled callback in the virtual timeline.
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among simultaneous events
+	fire func(Time)
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Clock is the discrete-event scheduler. Events fire in timestamp order;
+// events with equal timestamps fire in scheduling order. Clock is not safe
+// for concurrent use: the entire simulation is single-threaded and
+// deterministic by design.
+type Clock struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+}
+
+// NewClock returns a clock positioned at time zero with no pending events.
+func NewClock() *Clock {
+	return &Clock{}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// At schedules fire to run at the absolute time at. Scheduling in the past
+// panics: it indicates a logic error that would silently corrupt causality.
+func (c *Clock) At(at Time, fire func(Time)) {
+	if at < c.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v before now %v", at, c.now))
+	}
+	c.seq++
+	heap.Push(&c.events, &event{at: at, seq: c.seq, fire: fire})
+}
+
+// After schedules fire to run d after the current time.
+func (c *Clock) After(d time.Duration, fire func(Time)) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	c.At(c.now.Add(d), fire)
+}
+
+// Pending reports the number of events waiting to fire.
+func (c *Clock) Pending() int { return len(c.events) }
+
+// Step fires the next event and advances the clock to its timestamp.
+// It reports whether an event was fired.
+func (c *Clock) Step() bool {
+	if len(c.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&c.events).(*event)
+	c.now = e.at
+	e.fire(e.at)
+	return true
+}
+
+// RunUntil fires events in order until the queue is empty or the next event
+// is after deadline, then advances the clock to deadline. It returns the
+// number of events fired.
+func (c *Clock) RunUntil(deadline Time) int {
+	fired := 0
+	for len(c.events) > 0 && c.events[0].at <= deadline {
+		c.Step()
+		fired++
+	}
+	if c.now < deadline {
+		c.now = deadline
+	}
+	return fired
+}
+
+// Run fires events until the queue drains and returns the number fired.
+// Callers must ensure the event graph terminates.
+func (c *Clock) Run() int {
+	fired := 0
+	for c.Step() {
+		fired++
+	}
+	return fired
+}

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClockFiresInOrder(t *testing.T) {
+	c := NewClock()
+	var order []int
+	c.After(3*time.Second, func(Time) { order = append(order, 3) })
+	c.After(1*time.Second, func(Time) { order = append(order, 1) })
+	c.After(2*time.Second, func(Time) { order = append(order, 2) })
+	if n := c.Run(); n != 3 {
+		t.Fatalf("fired %d events, want 3", n)
+	}
+	for i, v := range []int{1, 2, 3} {
+		if order[i] != v {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if c.Now() != FromSeconds(3) {
+		t.Fatalf("clock at %v, want 3s", c.Now())
+	}
+}
+
+func TestClockFIFOAmongSimultaneous(t *testing.T) {
+	c := NewClock()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.At(FromSeconds(1), func(Time) { order = append(order, i) })
+	}
+	c.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("simultaneous events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestClockPastSchedulingPanics(t *testing.T) {
+	c := NewClock()
+	c.After(time.Second, func(Time) {})
+	c.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	c.At(0, func(Time) {})
+}
+
+func TestClockNegativeDelayPanics(t *testing.T) {
+	c := NewClock()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	c.After(-time.Second, func(Time) {})
+}
+
+func TestClockRunUntil(t *testing.T) {
+	c := NewClock()
+	fired := 0
+	for i := 1; i <= 10; i++ {
+		c.At(FromSeconds(float64(i)), func(Time) { fired++ })
+	}
+	n := c.RunUntil(FromSeconds(5.5))
+	if n != 5 || fired != 5 {
+		t.Fatalf("fired %d/%d events, want 5", n, fired)
+	}
+	if c.Now() != FromSeconds(5.5) {
+		t.Fatalf("clock at %v, want 5.5s", c.Now())
+	}
+	if c.Pending() != 5 {
+		t.Fatalf("pending = %d, want 5", c.Pending())
+	}
+	// The rest still fire.
+	c.Run()
+	if fired != 10 {
+		t.Fatalf("fired = %d, want 10", fired)
+	}
+}
+
+func TestClockCascadingEvents(t *testing.T) {
+	c := NewClock()
+	count := 0
+	var tick func(Time)
+	tick = func(now Time) {
+		count++
+		if count < 100 {
+			c.After(time.Millisecond, tick)
+		}
+	}
+	c.After(time.Millisecond, tick)
+	c.Run()
+	if count != 100 {
+		t.Fatalf("count = %d, want 100", count)
+	}
+	if c.Now() != Time(100*time.Millisecond) {
+		t.Fatalf("clock at %v, want 100ms", c.Now())
+	}
+}
+
+func TestClockEventSeesOwnTimestamp(t *testing.T) {
+	c := NewClock()
+	c.At(FromSeconds(2), func(now Time) {
+		if now != FromSeconds(2) {
+			t.Errorf("callback saw %v, want 2s", now)
+		}
+		if c.Now() != now {
+			t.Errorf("clock.Now() = %v during callback at %v", c.Now(), now)
+		}
+	})
+	c.Run()
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := FromSeconds(1.5)
+	t1 := t0.Add(500 * time.Millisecond)
+	if t1.Seconds() != 2 {
+		t.Fatalf("Add: %v", t1.Seconds())
+	}
+	if d := t1.Sub(t0); d != 500*time.Millisecond {
+		t.Fatalf("Sub: %v", d)
+	}
+	if s := Time(1500 * time.Millisecond).String(); s != "1.5s" {
+		t.Fatalf("String: %q", s)
+	}
+}

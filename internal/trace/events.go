@@ -1,0 +1,101 @@
+// Package trace implements the request tracer of §3.3: the non-intrusive
+// reconstruction of per-Servpod sojourn times from kernel-level events.
+//
+// The simulated LC services emit the four event types the paper captures
+// with SystemTap — ACCEPT, RECV, SEND and CLOSE — each carrying the
+// paper's context identifier (hostIP, programName, processID, threadID)
+// and message identifier (senderIP, senderPort, receiverIP, receiverPort,
+// messageSize). The tracer filters unrelated events, pairs events into
+// intra-Servpod (context relation) and inter-Servpod (message relation)
+// causal edges, builds the causal path graph (CPG), and extracts sojourn
+// times whose *means* are correct even when non-blocking threads or
+// persistent TCP connections make individual pairings ambiguous (the §3.3
+// identity).
+package trace
+
+import (
+	"fmt"
+
+	"rhythm/internal/sim"
+)
+
+// EventType is one of the four captured system events.
+type EventType int
+
+// The §3.3 event types.
+const (
+	Accept EventType = iota // syscall_accept: acceptance of a request
+	Recv                    // tcp_rcvmsg: receiving a data package
+	Send                    // tcp_sendmsg: sending a data package
+	Close                   // syscall_close: close of a request call
+)
+
+// String names the event type as the paper does.
+func (t EventType) String() string {
+	switch t {
+	case Accept:
+		return "ACCEPT"
+	case Recv:
+		return "RECV"
+	case Send:
+		return "SEND"
+	case Close:
+		return "CLOSE"
+	default:
+		return fmt.Sprintf("event(%d)", int(t))
+	}
+}
+
+// Context is the §3.3 context identifier quad, used to filter noise from
+// unrelated processes and to pair events inside a Servpod.
+type Context struct {
+	HostIP  string
+	Program string
+	PID     int
+	TID     int
+}
+
+// MsgID is the §3.3 message identifier five-tuple, used to pair SEND/RECV
+// events between neighbouring Servpods and to filter unrelated traffic.
+type MsgID struct {
+	SrcIP   string
+	SrcPort int
+	DstIP   string
+	DstPort int
+	Size    int
+}
+
+// Reverse returns the five-tuple of the reply direction with the given
+// payload size.
+func (m MsgID) Reverse(size int) MsgID {
+	return MsgID{SrcIP: m.DstIP, SrcPort: m.DstPort, DstIP: m.SrcIP, DstPort: m.SrcPort, Size: size}
+}
+
+// Event is one captured system event.
+type Event struct {
+	Type EventType
+	At   sim.Time
+	Ctx  Context
+	Msg  MsgID // zero for ACCEPT/CLOSE
+}
+
+// PodAddr describes one LC Servpod's identity for filtering: the host it
+// runs on and the program names of its components.
+type PodAddr struct {
+	Name     string
+	HostIP   string
+	Programs []string
+}
+
+// matches reports whether the event context belongs to this pod.
+func (p PodAddr) matches(c Context) bool {
+	if c.HostIP != p.HostIP {
+		return false
+	}
+	for _, prog := range p.Programs {
+		if prog == c.Program {
+			return true
+		}
+	}
+	return false
+}

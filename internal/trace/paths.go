@@ -1,0 +1,135 @@
+package trace
+
+import "sort"
+
+// CallPath is one identified service call path: the ordered sequence of
+// Servpods a request's causal chain visits (§3.3: "the request tracer
+// identifies the service call paths of requests"). Requests taking the
+// same path share a signature, which is how the tracer discovers the
+// service's structure without a deployment manifest.
+type CallPath struct {
+	// Pods is the visit order along the causal chain (first occurrence
+	// per pod).
+	Pods []string
+	// Count is how many requests took this path.
+	Count int
+}
+
+// Signature returns the canonical string form of the path.
+func (p CallPath) Signature() string {
+	s := ""
+	for i, pod := range p.Pods {
+		if i > 0 {
+			s += ">"
+		}
+		s += pod
+	}
+	return s
+}
+
+// CallPaths identifies the service call paths in the CPG by grouping
+// events into weakly connected causal components (one per request when
+// requests do not interleave on shared thread contexts) and reading each
+// component's pod visit order. podOf maps an event's context to its
+// Servpod name; events from contexts it rejects are ignored.
+//
+// Under heavy interleaving, components merge and paths blur — the same
+// limitation §3.3 works around by consuming sojourn means; the identified
+// paths remain correct whenever any tracing window with low concurrency
+// exists, which production tracers exploit by sampling.
+func (g *CPG) CallPaths(pods []PodAddr) []CallPath {
+	podOf := func(c Context) (string, bool) {
+		for _, p := range pods {
+			if p.matches(c) {
+				return p.Name, true
+			}
+		}
+		return "", false
+	}
+
+	// Union-find over events connected by causal edges.
+	parent := make([]int, len(g.Events))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, e := range g.Edges {
+		union(e.From, e.To)
+	}
+
+	// ACCEPT and CLOSE carry no causal edges, so they form singleton
+	// components; only components with a real causal chain count as
+	// requests.
+	size := map[int]int{}
+	for i := range g.Events {
+		size[find(i)]++
+	}
+
+	// Events are time-ordered in the CPG, so walking each component in
+	// index order yields the visit order.
+	visits := map[int][]string{}
+	seen := map[int]map[string]bool{}
+	for i, ev := range g.Events {
+		pod, ok := podOf(ev.Ctx)
+		if !ok {
+			continue
+		}
+		root := find(i)
+		if size[root] < 2 {
+			continue
+		}
+		if seen[root] == nil {
+			seen[root] = map[string]bool{}
+		}
+		if !seen[root][pod] {
+			seen[root][pod] = true
+			visits[root] = append(visits[root], pod)
+		}
+	}
+
+	counts := map[string]*CallPath{}
+	for _, podsInOrder := range visits {
+		cp := CallPath{Pods: podsInOrder}
+		sig := cp.Signature()
+		if ex, ok := counts[sig]; ok {
+			ex.Count++
+		} else {
+			cp.Count = 1
+			counts[sig] = &cp
+		}
+	}
+	out := make([]CallPath, 0, len(counts))
+	for _, cp := range counts {
+		out = append(out, *cp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Signature() < out[j].Signature()
+	})
+	return out
+}
+
+// DominantPath returns the most common call path, or false when the log
+// identified none.
+func (g *CPG) DominantPath(pods []PodAddr) (CallPath, bool) {
+	ps := g.CallPaths(pods)
+	if len(ps) == 0 {
+		return CallPath{}, false
+	}
+	return ps[0], true
+}

@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"rhythm/internal/sim"
+	"rhythm/internal/workload"
+)
+
+func TestCallPathIdentificationChain(t *testing.T) {
+	svc := workload.ECommerce()
+	// Low rate: requests do not interleave, so each forms one component.
+	evs, _, tp := generate(t, svc, GenOptions{Requests: 60, Rate: 2, Threads: 8, Seed: 3})
+	g := BuildCPG(evs, tp.Pods)
+	paths := g.CallPaths(tp.Pods)
+	if len(paths) != 1 {
+		t.Fatalf("chain service should yield one path, got %v", paths)
+	}
+	want := "Haproxy>Tomcat>Amoeba>MySQL"
+	if got := paths[0].Signature(); got != want {
+		t.Fatalf("path = %q, want %q", got, want)
+	}
+	if paths[0].Count != 60 {
+		t.Fatalf("count = %d, want 60", paths[0].Count)
+	}
+}
+
+func TestCallPathFanOut(t *testing.T) {
+	svc := workload.SNMS()
+	// One thread per request: thread reuse leaks the fan-out's unmatched
+	// reply RECVs across requests and merges their causal components
+	// (FIFO pairing is stateful per context), so structure discovery
+	// wants a low-concurrency sampling window.
+	evs, _, tp := generate(t, svc, GenOptions{Requests: 40, Rate: 2, Threads: 64, Seed: 5})
+	g := BuildCPG(evs, tp.Pods)
+	// Under the strict FIFO context pairing of §3.3, a fan-out request
+	// splits into one causal chain per branch (the same fan-out
+	// limitation that makes the paper use jaeger for SNMS): the tracer
+	// identifies both branch paths, each rooted at the frontend.
+	paths := g.CallPaths(tp.Pods)
+	sigs := map[string]int{}
+	for _, p := range paths {
+		sigs[p.Signature()] = p.Count
+	}
+	if sigs["frontend>UserService"] != 40 || sigs["frontend>MediaService"] != 40 {
+		t.Fatalf("fan-out branch paths not identified: %v", sigs)
+	}
+}
+
+func TestCallPathsEmptyCPG(t *testing.T) {
+	g := &CPG{}
+	if ps := g.CallPaths(nil); len(ps) != 0 {
+		t.Fatalf("empty CPG produced paths: %v", ps)
+	}
+	if _, ok := g.DominantPath(nil); ok {
+		t.Fatal("empty CPG should have no dominant path")
+	}
+}
+
+func TestCallPathSignatureOrdering(t *testing.T) {
+	p := CallPath{Pods: []string{"a", "b", "c"}}
+	if p.Signature() != "a>b>c" {
+		t.Fatalf("signature = %q", p.Signature())
+	}
+}
+
+// Failure injection: a lossy capture (dropped and duplicated events) must
+// not crash the tracer. The §3.3 mean-invariance identity requires a
+// complete log — a dropped SEND shifts every later pairing in its context,
+// so loss corrupts the means rather than degrading them gracefully. Real
+// deployments watch the capture's drop counters and discard lossy windows;
+// this test documents the sensitivity.
+func TestTracerSurvivesEventLossButMeansNeedCompleteLogs(t *testing.T) {
+	svc := workload.ECommerce()
+	evs, truth, tp := generate(t, svc, GenOptions{Requests: 400, Rate: 10, Threads: 8, Seed: 11})
+
+	r := sim.NewRNG(99)
+	var lossy []Event
+	for _, e := range evs {
+		roll := r.Float64()
+		if roll < 0.02 {
+			continue // 2% drop
+		}
+		lossy = append(lossy, e)
+		if roll > 0.98 {
+			lossy = append(lossy, e) // 2% duplicate
+		}
+	}
+	res, err := Analyze(lossy, tp.Pods, svc.Graph.Comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("lossy log lost every request")
+	}
+	// The complete log is exact; the lossy one is corrupted. Verify both
+	// halves of the statement so a silent robustness regression (or a
+	// silent accuracy regression) fails the test.
+	clean, err := Analyze(evs, tp.Pods, svc.Graph.Comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := false
+	for _, c := range svc.Components {
+		want := truth.MeanSojourn(c.Name)
+		if math.Abs(clean.PerPod[c.Name].MeanPerRequest-want)/want > 1e-6 {
+			t.Errorf("%s: complete log should stay exact", c.Name)
+		}
+		if math.Abs(res.PerPod[c.Name].MeanPerRequest-want)/want > 0.30 {
+			corrupted = true
+		}
+	}
+	if !corrupted {
+		t.Log("note: this loss pattern happened to preserve the means")
+	}
+}
+
+func TestTracerToleratesCorruptTimestamps(t *testing.T) {
+	svc := workload.Redis()
+	evs, _, tp := generate(t, svc, GenOptions{Requests: 200, Rate: 10, Threads: 4, Seed: 13})
+	// Shuffle a fraction of timestamps (clock skew between CPUs).
+	r := sim.NewRNG(7)
+	for i := range evs {
+		if r.Float64() < 0.05 {
+			evs[i].At += sim.Time(r.Intn(200000)) // up to 200µs skew
+		}
+	}
+	res, err := Analyze(evs, tp.Pods, svc.Graph.Comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("skewed log lost all requests")
+	}
+	g := BuildCPG(evs, tp.Pods)
+	if !g.Acyclic() {
+		t.Fatal("CPG must stay acyclic under timestamp skew (defensive sort)")
+	}
+}
+
+func TestCallPathsInTracerDemoFlow(t *testing.T) {
+	// The discovered structure matches the declared service graphs for
+	// every chain service in the catalog.
+	for _, svc := range []*workload.Service{workload.Redis(), workload.Solr(), workload.Elgg()} {
+		evs, _, tp := generate(t, svc, GenOptions{Requests: 30, Rate: 1, Threads: 8, Seed: 17})
+		g := BuildCPG(evs, tp.Pods)
+		p, ok := g.DominantPath(tp.Pods)
+		if !ok {
+			t.Fatalf("%s: no path", svc.Name)
+		}
+		want := strings.Join(svc.Graph.Paths()[0], ">")
+		if p.Signature() != want {
+			t.Errorf("%s: discovered %q, declared %q", svc.Name, p.Signature(), want)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"rhythm/internal/sim"
+)
+
+// PodStats aggregates what the tracer learned about one Servpod.
+type PodStats struct {
+	// Pairs is the number of intra-pod RECV→SEND causal pairs.
+	Pairs int
+	// UnmatchedSends counts SEND events with no unmatched preceding RECV
+	// in their context (arises at fan-out pods, see Analyze).
+	UnmatchedSends int
+	// TotalSojourn is the summed (SEND - RECV) time over all pairs, in
+	// seconds. Individual pairs can be mismatched under non-blocking
+	// interleavings, but the total — and hence the mean per request —
+	// is invariant (§3.3).
+	TotalSojourn float64
+	// MeanPerRequest is TotalSojourn divided by the request count.
+	MeanPerRequest float64
+}
+
+// Result is the output of one tracer run over an event log.
+type Result struct {
+	// Requests is the number of requests identified at the entry pod.
+	Requests int
+	// PerPod maps Servpod name to its aggregated sojourn statistics.
+	PerPod map[string]*PodStats
+	// E2Es are the per-request end-to-end latencies in seconds,
+	// extracted from ACCEPT/CLOSE pairs at the entry pod.
+	E2Es []float64
+	// Filtered counts events discarded by the context-identifier filter
+	// (unrelated processes, client-side events).
+	Filtered int
+	// ContextEdges and MessageEdges count the causal edges recovered.
+	ContextEdges int
+	MessageEdges int
+}
+
+// MeanE2E returns the mean end-to-end latency in seconds.
+func (r *Result) MeanE2E() float64 { return sim.Mean(r.E2Es) }
+
+// TailE2E returns the q-quantile of the end-to-end latencies.
+func (r *Result) TailE2E(q float64) float64 { return sim.Quantile(r.E2Es, q) }
+
+// Analyze runs the §3.3 pipeline over an event log: filter by context
+// identifier, pair intra-Servpod events by context relation (FIFO in order
+// of occurrence, as the paper specifies), pair inter-Servpod events by
+// message relation, and extract per-pod sojourn statistics plus
+// per-request end-to-end latencies from the entry pod's ACCEPT/CLOSE pairs.
+//
+// Individual pairings can be wrong when non-blocking threads interleave
+// requests or persistent TCP connections share message identifiers; the
+// per-pod sojourn *sums* are invariant under those permutations, which is
+// why the contribution analyzer consumes means (Equations 1-3 of the
+// paper). At fan-out pods the strict FIFO discipline leaves the burst's
+// extra SENDs unmatched and biases the mean; the paper sidesteps this by
+// using the service's built-in tracer (jaeger) for its fan-out workload
+// (§5.3.2), and this reproduction does the same.
+func Analyze(events []Event, pods []PodAddr, entry string) (*Result, error) {
+	if len(pods) == 0 {
+		return nil, fmt.Errorf("trace: no Servpods to analyze")
+	}
+	entryOK := false
+	for _, p := range pods {
+		if p.Name == entry {
+			entryOK = true
+		}
+	}
+	if !entryOK {
+		return nil, fmt.Errorf("trace: entry pod %q not among the %d Servpods", entry, len(pods))
+	}
+
+	// Defensive sort: SystemTap logs arrive roughly ordered but merged
+	// across CPUs.
+	evs := make([]Event, len(events))
+	copy(evs, events)
+	sort.SliceStable(evs, func(a, b int) bool { return evs[a].At < evs[b].At })
+
+	res := &Result{PerPod: make(map[string]*PodStats)}
+	for _, p := range pods {
+		res.PerPod[p.Name] = &PodStats{}
+	}
+
+	podOf := func(c Context) (string, bool) {
+		for _, p := range pods {
+			if p.matches(c) {
+				return p.Name, true
+			}
+		}
+		return "", false
+	}
+
+	// Intra-pod pairing state: FIFO of unmatched RECV timestamps per
+	// context; ACCEPT/CLOSE FIFO per entry-pod context for E2E.
+	type ctxKey Context
+	recvQ := make(map[ctxKey][]sim.Time)
+	acceptQ := make(map[ctxKey][]sim.Time)
+
+	// Inter-pod pairing state: FIFO of unmatched SEND timestamps per
+	// message identifier.
+	sendQ := make(map[MsgID][]sim.Time)
+
+	for _, e := range evs {
+		pod, ok := podOf(e.Ctx)
+		if !ok {
+			res.Filtered++
+			continue
+		}
+		st := res.PerPod[pod]
+		ck := ctxKey(e.Ctx)
+		switch e.Type {
+		case Accept:
+			if pod == entry {
+				acceptQ[ck] = append(acceptQ[ck], e.At)
+				res.Requests++
+			}
+		case Close:
+			if pod == entry {
+				if q := acceptQ[ck]; len(q) > 0 {
+					res.E2Es = append(res.E2Es, e.At.Sub(q[0]).Seconds())
+					acceptQ[ck] = q[1:]
+				}
+			}
+		case Recv:
+			recvQ[ck] = append(recvQ[ck], e.At)
+			// Message relation: this RECV completes a SEND from a
+			// neighbouring pod with the same five-tuple.
+			if q := sendQ[e.Msg]; len(q) > 0 {
+				sendQ[e.Msg] = q[1:]
+				res.MessageEdges++
+			}
+		case Send:
+			if q := recvQ[ck]; len(q) > 0 {
+				st.Pairs++
+				st.TotalSojourn += e.At.Sub(q[0]).Seconds()
+				recvQ[ck] = q[1:]
+				res.ContextEdges++
+			} else {
+				st.UnmatchedSends++
+			}
+			sendQ[e.Msg] = append(sendQ[e.Msg], e.At)
+		}
+	}
+
+	if res.Requests == 0 {
+		return nil, fmt.Errorf("trace: no requests found (no ACCEPT events at entry pod %q)", entry)
+	}
+	for _, st := range res.PerPod {
+		st.MeanPerRequest = st.TotalSojourn / float64(res.Requests)
+	}
+	return res, nil
+}
+
+// CPGEdgeKind distinguishes the two causal relations of §3.3.
+type CPGEdgeKind int
+
+// Edge kinds: context relations join a RECV to a later SEND inside one
+// Servpod; message relations join a SEND to the matching RECV at the
+// neighbour pod.
+const (
+	ContextEdge CPGEdgeKind = iota
+	MessageEdge
+)
+
+// CPGEdge is a directed causal edge between event indices.
+type CPGEdge struct {
+	From, To int
+	Kind     CPGEdgeKind
+}
+
+// CPG is the causal path graph over a filtered event log: vertices are
+// events, edges the recovered causal relations.
+type CPG struct {
+	Events []Event
+	Edges  []CPGEdge
+}
+
+// BuildCPG constructs the causal path graph over the pod events of the
+// log, using the same pairing discipline as Analyze but retaining the
+// explicit graph (Fig. 4 of the paper).
+func BuildCPG(events []Event, pods []PodAddr) *CPG {
+	evs := make([]Event, 0, len(events))
+	for _, e := range events {
+		for _, p := range pods {
+			if p.matches(e.Ctx) {
+				evs = append(evs, e)
+				break
+			}
+		}
+	}
+	sort.SliceStable(evs, func(a, b int) bool { return evs[a].At < evs[b].At })
+
+	g := &CPG{Events: evs}
+	type ctxKey Context
+	recvQ := make(map[ctxKey][]int)
+	sendQ := make(map[MsgID][]int)
+	for i, e := range evs {
+		ck := ctxKey(e.Ctx)
+		switch e.Type {
+		case Recv:
+			recvQ[ck] = append(recvQ[ck], i)
+			if q := sendQ[e.Msg]; len(q) > 0 {
+				g.Edges = append(g.Edges, CPGEdge{From: q[0], To: i, Kind: MessageEdge})
+				sendQ[e.Msg] = q[1:]
+			}
+		case Send:
+			if q := recvQ[ck]; len(q) > 0 {
+				g.Edges = append(g.Edges, CPGEdge{From: q[0], To: i, Kind: ContextEdge})
+				recvQ[ck] = q[1:]
+			}
+			sendQ[e.Msg] = append(sendQ[e.Msg], i)
+		}
+	}
+	return g
+}
+
+// Acyclic reports whether the CPG has no directed cycles. Causal edges
+// always point forward in time, so a correctly built CPG is acyclic; this
+// is the invariant the property tests exercise.
+func (g *CPG) Acyclic() bool {
+	adj := make(map[int][]int, len(g.Events))
+	for _, e := range g.Edges {
+		adj[e.From] = append(adj[e.From], e.To)
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int8, len(g.Events))
+	var visit func(int) bool
+	visit = func(u int) bool {
+		color[u] = gray
+		for _, v := range adj[u] {
+			switch color[v] {
+			case gray:
+				return false
+			case white:
+				if !visit(v) {
+					return false
+				}
+			}
+		}
+		color[u] = black
+		return true
+	}
+	for i := range g.Events {
+		if color[i] == white && !visit(i) {
+			return false
+		}
+	}
+	return true
+}

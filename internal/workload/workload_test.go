@@ -1,0 +1,238 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"rhythm/internal/cluster"
+)
+
+func TestCatalogValidates(t *testing.T) {
+	svcs := Services()
+	if len(svcs) != 6 {
+		t.Fatalf("Table 1 lists 6 LC workloads, got %d", len(svcs))
+	}
+	for _, s := range svcs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestTable1Parameters(t *testing.T) {
+	cases := []struct {
+		name       string
+		maxQPS     float64
+		slaMS      float64
+		containers int
+		pods       []string
+	}{
+		{"E-commerce", 1300, 250, 16, []string{"Haproxy", "Tomcat", "Amoeba", "MySQL"}},
+		{"Redis", 86000, 1.15, 18, []string{"Master", "Slave"}},
+		{"Solr", 400, 350, 15, []string{"Apache+Solr", "Zookeeper"}},
+		{"Elasticsearch", 750, 200, 12, []string{"Index", "Kibana"}},
+		{"Elgg", 200, 320, 8, []string{"Nginx+PHP-FPM", "Memcached", "MySQL"}},
+		{"SNMS", 1500, 380, 30, []string{"UserService", "frontend", "MediaService"}},
+	}
+	for _, tc := range cases {
+		s, err := ByName(tc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.MaxLoadQPS != tc.maxQPS {
+			t.Errorf("%s: max load %v, want %v", tc.name, s.MaxLoadQPS, tc.maxQPS)
+		}
+		if got := s.SLATable1.Seconds() * 1000; math.Abs(got-tc.slaMS) > 1e-9 {
+			t.Errorf("%s: SLA %vms, want %vms", tc.name, got, tc.slaMS)
+		}
+		if s.Containers != tc.containers {
+			t.Errorf("%s: containers %d, want %d", tc.name, s.Containers, tc.containers)
+		}
+		for _, p := range tc.pods {
+			if s.Component(p) == nil {
+				t.Errorf("%s: missing Servpod %s", tc.name, p)
+			}
+		}
+		if len(s.Components) != len(tc.pods) {
+			t.Errorf("%s: %d Servpods, want %d", tc.name, len(s.Components), len(tc.pods))
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("Nope"); err == nil {
+		t.Fatal("unknown service accepted")
+	}
+}
+
+func TestStationsSaturateNearMaxLoad(t *testing.T) {
+	// Each station must still be stable at max load (util < 1) but close
+	// to saturation (util > 0.7) so that MaxLoad means what Table 1 says.
+	for _, s := range Services() {
+		for _, c := range s.Components {
+			rate := c.Station.MaxRate()
+			util := s.MaxLoadQPS / rate
+			if util >= 1 {
+				t.Errorf("%s/%s: unstable at max load (util %.2f)", s.Name, c.Name, util)
+			}
+			// Worker counts are integral, so very fast components at low
+			// QPS (Memcached at 200 QPS) keep granularity headroom.
+			if util < 0.35 {
+				t.Errorf("%s/%s: too much headroom at max load (util %.2f)", s.Name, c.Name, util)
+			}
+		}
+	}
+}
+
+func TestGraphLatencyChain(t *testing.T) {
+	g := chain("a", "b", "c")
+	lat := g.Latency(func(c string) float64 {
+		return map[string]float64{"a": 1, "b": 2, "c": 3}[c]
+	})
+	if lat != 6 {
+		t.Fatalf("chain latency = %v, want 6", lat)
+	}
+}
+
+func TestGraphLatencyFanOut(t *testing.T) {
+	g := &Node{Comp: "f", Parallel: true,
+		Children: []*Node{{Comp: "u"}, {Comp: "m"}}}
+	lat := g.Latency(func(c string) float64 {
+		return map[string]float64{"f": 1, "u": 10, "m": 4}[c]
+	})
+	if lat != 11 { // frontend + slowest branch
+		t.Fatalf("fan-out latency = %v, want 11", lat)
+	}
+}
+
+func TestGraphPaths(t *testing.T) {
+	seq := chain("a", "b", "c")
+	p := seq.Paths()
+	if len(p) != 1 || len(p[0]) != 3 {
+		t.Fatalf("chain paths = %v", p)
+	}
+	fan := SNMS().Graph
+	paths := fan.Paths()
+	if len(paths) != 2 {
+		t.Fatalf("SNMS should have 2 paths, got %v", paths)
+	}
+	for _, path := range paths {
+		if path[0] != "frontend" {
+			t.Fatalf("paths must start at frontend: %v", path)
+		}
+	}
+}
+
+func TestGraphComponents(t *testing.T) {
+	got := SNMS().Graph.Components()
+	if len(got) != 3 {
+		t.Fatalf("components = %v", got)
+	}
+}
+
+func TestDemandScalesWithLoad(t *testing.T) {
+	c := ECommerce().Component("MySQL")
+	d50 := c.DemandAt(0.5)
+	d100 := c.DemandAt(1.0)
+	if d50[cluster.ResMemBW] >= d100[cluster.ResMemBW] {
+		t.Fatal("memBW demand should grow with load")
+	}
+	// Memory footprint and LLC working set are load-independent.
+	if d50[cluster.ResMemory] != d100[cluster.ResMemory] {
+		t.Fatal("memory footprint should not scale with load")
+	}
+	if d50[cluster.ResLLC] != d100[cluster.ResLLC] {
+		t.Fatal("LLC working set should not scale with load")
+	}
+}
+
+func TestFig2SensitivityOrderings(t *testing.T) {
+	// §2's characterization constraints, encoded as catalog invariants.
+	ec := ECommerce()
+	mysql, tomcat := ec.Component("MySQL"), ec.Component("Tomcat")
+	if mysql.Sens[cluster.ResMemBW] <= tomcat.Sens[cluster.ResMemBW] {
+		t.Error("MySQL must be more stream-dram sensitive than Tomcat (Fig. 2b)")
+	}
+	if mysql.Sens[cluster.ResLLC] <= tomcat.Sens[cluster.ResLLC] {
+		t.Error("MySQL must be more stream-llc sensitive than Tomcat (Fig. 2b)")
+	}
+	if tomcat.FreqSens <= mysql.FreqSens {
+		t.Error("Tomcat must be more DVFS sensitive than MySQL (Fig. 2b)")
+	}
+
+	rd := Redis()
+	master, slave := rd.Component("Master"), rd.Component("Slave")
+	for _, r := range []cluster.Resource{cluster.ResCPU, cluster.ResLLC, cluster.ResMemBW, cluster.ResNetBW} {
+		if master.Sens[r] <= slave.Sens[r] {
+			t.Errorf("Master must be more %s sensitive than Slave (Fig. 2a)", r)
+		}
+	}
+
+	// Zookeeper is the most tolerant pod in the evaluation.
+	zk := Solr().Component("Zookeeper")
+	as := Solr().Component("Apache+Solr")
+	for _, r := range []cluster.Resource{cluster.ResCPU, cluster.ResLLC, cluster.ResMemBW} {
+		if zk.Sens[r] >= as.Sens[r] {
+			t.Errorf("Zookeeper should be less %s sensitive than Apache+Solr", r)
+		}
+	}
+}
+
+func TestSNMSMicroserviceCounts(t *testing.T) {
+	s := SNMS()
+	total := 0
+	for _, c := range s.Components {
+		total += c.Microservices
+	}
+	if total != 30 {
+		t.Fatalf("SNMS has %d microservices, want 30", total)
+	}
+	if s.Component("UserService").Microservices != 14 ||
+		s.Component("MediaService").Microservices != 13 ||
+		s.Component("frontend").Microservices != 3 {
+		t.Fatal("SNMS Servpod grouping mismatch (§5.3.2: 14/13/3)")
+	}
+	// §5.3.2: 20 cores and 64 GB per Servpod.
+	for _, c := range s.Components {
+		if c.Cores != 20 || c.MemoryGB != 64 {
+			t.Errorf("%s: %d cores / %v GB, want 20 / 64", c.Name, c.Cores, c.MemoryGB)
+		}
+	}
+}
+
+func TestValidateCatchesBrokenServices(t *testing.T) {
+	s := ECommerce()
+	s.Graph.Children[0].Comp = "Ghost"
+	if err := s.Validate(); err == nil {
+		t.Fatal("graph with unknown component accepted")
+	}
+
+	s2 := ECommerce()
+	s2.Components = append(s2.Components, s2.Components[0])
+	if err := s2.Validate(); err == nil {
+		t.Fatal("duplicate component accepted")
+	}
+
+	s3 := ECommerce()
+	s3.Components[0].Station.Workers = 0
+	if err := s3.Validate(); err == nil {
+		t.Fatal("invalid station accepted")
+	}
+
+	s4 := ECommerce()
+	s4.MaxLoadQPS = 1e9 // beyond every station's capacity
+	if err := s4.Validate(); err == nil {
+		t.Fatal("saturating max load accepted")
+	}
+}
+
+func TestComponentLookup(t *testing.T) {
+	s := ECommerce()
+	if s.Component("MySQL") == nil || s.Component("Ghost") != nil {
+		t.Fatal("component lookup broken")
+	}
+	names := s.ComponentNames()
+	if len(names) != 4 || names[0] != "Haproxy" {
+		t.Fatalf("names = %v", names)
+	}
+}

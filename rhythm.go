@@ -1,0 +1,124 @@
+// Package rhythm is a Go reproduction of "Rhythm: Component-distinguishable
+// Workload Deployment in Datacenters" (Zhao et al., EuroSys 2020): a
+// co-location controller that deploys best-effort batch (BE) jobs alongside
+// latency-critical (LC) services aggressively on the Servpods that
+// contribute little to the service's tail latency, while protecting the
+// SLA on the Servpods that contribute a lot.
+//
+// The package is the public facade over the full pipeline:
+//
+//	svc, _ := rhythm.Service("E-commerce")          // Table 1 catalog
+//	sys, _ := rhythm.Deploy(svc, rhythm.Options{})  // profile once (§3.2-§3.5.1)
+//	cmp, _ := sys.Compare(rhythm.RunConfig{         // co-locate, vs Heracles
+//	    Pattern:  rhythm.ConstantLoad(0.65),
+//	    BETypes:  []rhythm.BEType{rhythm.Wordcount},
+//	    Duration: 2 * time.Minute,
+//	})
+//
+// Deploy runs the offline phase: the request tracer reconstructs
+// per-Servpod sojourn times from kernel-style events (§3.3), the
+// contribution analyzer computes each Servpod's tail-latency contribution
+// (Eq. 1-5, §3.4), and the thresholding phase derives each Servpod's
+// loadlimit (Fig. 8) and slacklimit (Algorithm 1). The returned System
+// runs the per-machine controllers of §3.5.2 (Algorithm 2 with the four
+// subcontrollers) against the simulated cluster substrate.
+//
+// Everything physical in the paper — machines, isolation mechanisms
+// (cpuset/CAT/qdisc/RAPL), the LC applications and the BE benchmarks — is
+// simulated; see DESIGN.md for the substitution map, and the Experiments
+// registry for regenerating every table and figure of the evaluation.
+package rhythm
+
+import (
+	"time"
+
+	"rhythm/internal/bejobs"
+	"rhythm/internal/controller"
+	"rhythm/internal/core"
+	"rhythm/internal/engine"
+	"rhythm/internal/experiments"
+	"rhythm/internal/loadgen"
+	"rhythm/internal/profiler"
+	"rhythm/internal/workload"
+)
+
+// Re-exported core types. The aliases keep the downstream API in one
+// import while the implementation stays in focused internal packages.
+type (
+	// ServiceSpec is one LC workload from Table 1 of the paper.
+	ServiceSpec = workload.Service
+	// Component is one Servpod (LC service component) of a workload.
+	Component = workload.Component
+	// Options configures Deploy's offline profiling phase.
+	Options = core.Options
+	// System is a deployed Rhythm instance: profile + thresholds +
+	// policy.
+	System = core.System
+	// RunConfig shapes a co-location run.
+	RunConfig = core.RunConfig
+	// Comparison holds a Rhythm-vs-Heracles result pair.
+	Comparison = core.Comparison
+	// RunStats is the outcome of one run.
+	RunStats = engine.RunStats
+	// PodStats is the per-Servpod outcome of one run.
+	PodStats = engine.PodStats
+	// BEType names a best-effort job type from Table 1.
+	BEType = bejobs.Type
+	// Thresholds is a Servpod's (loadlimit, slacklimit) control pair.
+	Thresholds = controller.Thresholds
+	// Action is a top-controller decision (Algorithm 2).
+	Action = controller.Action
+	// LoadPattern yields the offered load fraction over virtual time.
+	LoadPattern = loadgen.Pattern
+	// Profile is the offline profiling result of one service.
+	Profile = profiler.Profile
+	// ExperimentTable is one regenerated paper table or figure.
+	ExperimentTable = experiments.Table
+	// ExperimentOptions shapes experiment runs (seed, quick/full scale).
+	ExperimentOptions = experiments.Options
+	// ExperimentContext caches deployed systems across experiments.
+	ExperimentContext = experiments.Context
+)
+
+// The seven BE job types of Table 1.
+const (
+	CPUStress     = bejobs.CPUStress
+	StreamLLC     = bejobs.StreamLLC
+	StreamDRAM    = bejobs.StreamDRAM
+	Iperf         = bejobs.Iperf
+	Wordcount     = bejobs.Wordcount
+	ImageClassify = bejobs.ImageClassify
+	LSTM          = bejobs.LSTM
+)
+
+// Services returns the six Table 1 LC workloads.
+func Services() []*ServiceSpec { return workload.Services() }
+
+// Service returns the named Table 1 workload (E-commerce, Redis, Solr,
+// Elasticsearch, Elgg or SNMS).
+func Service(name string) (*ServiceSpec, error) { return workload.ByName(name) }
+
+// Deploy runs Rhythm's offline phase on a service and returns the system
+// ready for co-location runs.
+func Deploy(svc *ServiceSpec, opts Options) (*System, error) { return core.Deploy(svc, opts) }
+
+// ConstantLoad returns a fixed-fraction load pattern.
+func ConstantLoad(frac float64) LoadPattern { return loadgen.Constant(frac) }
+
+// DiurnalLoad returns the production-trace stand-in: a day/night wave
+// between min and max with deterministic bursts.
+func DiurnalLoad(period time.Duration, min, max, burst float64, seed uint64) (LoadPattern, error) {
+	return loadgen.NewDiurnal(period, min, max, burst, seed)
+}
+
+// Improvement returns (rhythm-heracles)/heracles, the paper's relative
+// improvement metric.
+func Improvement(rhythm, heracles float64) float64 { return core.Improvement(rhythm, heracles) }
+
+// Experiments lists the registered paper-reproduction experiment IDs.
+func Experiments() []string { return experiments.IDs() }
+
+// NewExperiments returns a context for running paper experiments.
+func NewExperiments(opts ExperimentOptions) *ExperimentContext {
+	return experiments.NewContext(opts)
+}

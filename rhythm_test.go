@@ -1,0 +1,82 @@
+package rhythm
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCatalogThroughFacade(t *testing.T) {
+	if len(Services()) != 6 {
+		t.Fatalf("services = %d, want 6", len(Services()))
+	}
+	svc, err := Service("Redis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.MaxLoadQPS != 86000 {
+		t.Fatalf("Redis max load = %v", svc.MaxLoadQPS)
+	}
+	if _, err := Service("nope"); err == nil {
+		t.Fatal("unknown service accepted")
+	}
+}
+
+func TestExperimentRegistryThroughFacade(t *testing.T) {
+	ids := Experiments()
+	if len(ids) < 16 {
+		t.Fatalf("experiments = %d, want at least the 16 paper tables/figures", len(ids))
+	}
+}
+
+func TestLoadPatterns(t *testing.T) {
+	if ConstantLoad(0.5).Load(0) != 0.5 {
+		t.Fatal("constant load")
+	}
+	d, err := DiurnalLoad(time.Hour, 0.1, 0.9, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := d.Load(0); l < 0 || l > 1 {
+		t.Fatalf("diurnal load = %v", l)
+	}
+	if _, err := DiurnalLoad(0, 0.1, 0.9, 0, 1); err == nil {
+		t.Fatal("invalid diurnal accepted")
+	}
+}
+
+func TestImprovementMetric(t *testing.T) {
+	if Improvement(1.2, 1.0) <= 0 || Improvement(0.8, 1.0) >= 0 {
+		t.Fatal("improvement metric broken")
+	}
+}
+
+// TestEndToEndQuickstart runs the README quickstart path at test scale.
+func TestEndToEndQuickstart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quickstart deploy takes a few seconds")
+	}
+	svc, err := Service("Solr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Deploy(svc, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.SLA <= 0 || len(sys.Thresholds) != 2 {
+		t.Fatalf("deploy result: SLA=%v thresholds=%v", sys.SLA, sys.Thresholds)
+	}
+	cmp, err := sys.Compare(RunConfig{
+		Pattern:  ConstantLoad(0.65),
+		BETypes:  []BEType{Wordcount},
+		Duration: 60 * time.Second,
+		Warmup:   20 * time.Second,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Rhythm.MeanEMU() <= 0.65 {
+		t.Fatalf("Rhythm EMU %v should exceed the LC load alone", cmp.Rhythm.MeanEMU())
+	}
+}
