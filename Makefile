@@ -1,0 +1,31 @@
+# Pre-PR gate for the Rhythm reproduction. `make check` is the bar every
+# change must clear (see README "Install / build"): formatting, vet, a
+# clean build, and the full test suite under the race detector — the
+# experiment engine is concurrent, so -race is part of tier-1 here, not an
+# extra. The race run uses a raised timeout: -race slows the simulation
+# ~5-10x and the experiments package regenerates real figures.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+check: fmt vet build race
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -timeout 45m ./...
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -22,6 +22,10 @@ import (
 var benchFull = flag.Bool("bench.full", false,
 	"run benchmarks at full evaluation scale instead of quick scale")
 
+var benchJobs = flag.Int("bench.jobs", 0,
+	"worker goroutines for the shared experiment context (0 = NumCPU); "+
+		"results are identical for every value, only wall-clock changes")
+
 var (
 	benchCtxOnce sync.Once
 	benchCtx     *ExperimentContext
@@ -29,7 +33,7 @@ var (
 
 func benchContext() *ExperimentContext {
 	benchCtxOnce.Do(func() {
-		benchCtx = NewExperiments(ExperimentOptions{Seed: 2020, Quick: !*benchFull})
+		benchCtx = NewExperiments(ExperimentOptions{Seed: 2020, Quick: !*benchFull, Jobs: *benchJobs})
 	})
 	return benchCtx
 }
@@ -83,3 +87,18 @@ func BenchmarkAblationContribution(b *testing.B) { benchExperiment(b, "ablation-
 func BenchmarkAblationPeriod(b *testing.B)       { benchExperiment(b, "ablation-period") }
 func BenchmarkAblationPairing(b *testing.B)      { benchExperiment(b, "ablation-pairing") }
 func BenchmarkAblationIsolation(b *testing.B)    { benchExperiment(b, "ablation-isolation") }
+
+// BenchmarkRunAllParallel regenerates the whole registry through the
+// parallel runner on a fresh context each iteration (only the
+// process-wide profile cache persists across iterations), measuring the
+// end-to-end `rhythm run all` path at -bench.jobs workers.
+func BenchmarkRunAllParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ctx := NewExperiments(ExperimentOptions{Seed: 2020, Quick: !*benchFull, Jobs: *benchJobs})
+		for _, res := range ctx.RunAll(nil, 0) {
+			if res.Err != nil {
+				b.Fatalf("%s: %v", res.ID, res.Err)
+			}
+		}
+	}
+}

@@ -14,23 +14,33 @@
 //	-quick        run at reduced scale (default true; -quick=false for the
 //	              full evaluation scale)
 //	-seed N       RNG seed (default 2020)
+//	-jobs N       parallel worker count (default runtime.NumCPU(); 1 runs
+//	              serially). Tables are byte-identical for every N — only
+//	              wall-clock time changes. Tables go to stdout; timing,
+//	              speedup and profile-cache statistics go to stderr, so
+//	              redirected output is stable across worker counts.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"rhythm/internal/bejobs"
 	"rhythm/internal/core"
 	"rhythm/internal/experiments"
+	"rhythm/internal/profiler"
+	"rhythm/internal/sim"
 	"rhythm/internal/workload"
 )
 
 func main() {
 	quick := flag.Bool("quick", true, "reduced experiment scale")
 	seed := flag.Uint64("seed", 2020, "RNG seed")
+	jobs := flag.Int("jobs", runtime.NumCPU(),
+		"parallel worker count (1 = serial; output is identical for any value)")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -39,7 +49,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	ctx := experiments.NewContext(experiments.Options{Quick: *quick, Seed: *seed})
+	ctx := experiments.NewContext(experiments.Options{Quick: *quick, Seed: *seed, Jobs: *jobs})
 	var err error
 	switch args[0] {
 	case "list":
@@ -92,15 +102,28 @@ func run(ctx *experiments.Context, ids []string) error {
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = experiments.IDs()
 	}
-	for _, id := range ids {
-		start := time.Now()
-		tab, err := ctx.Run(id)
-		if err != nil {
-			return fmt.Errorf("%s: %w", id, err)
+	start := time.Now()
+	results := ctx.RunAll(ids, 0)
+	wall := time.Since(start)
+
+	// Tables on stdout, in request order, regardless of completion order;
+	// all timing on stderr so stdout is byte-identical for every -jobs.
+	var compute time.Duration
+	for _, res := range results {
+		if res.Err != nil {
+			return fmt.Errorf("%s: %w", res.ID, res.Err)
 		}
-		fmt.Println(tab)
-		fmt.Printf("(%s generated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Println(res.Table)
+		fmt.Fprintf(os.Stderr, "(%s generated in %v)\n",
+			res.ID, res.Elapsed.Round(time.Millisecond))
+		compute += res.Elapsed
 	}
+	hits, misses := profiler.CacheStats()
+	fmt.Fprintf(os.Stderr,
+		"\n%d experiments in %v wall (aggregate compute %v, speedup %.2fx, jobs=%d)\n",
+		len(results), wall.Round(time.Millisecond), compute.Round(time.Millisecond),
+		float64(compute)/float64(wall), sim.Jobs(ctx.Opts.Jobs))
+	fmt.Fprintf(os.Stderr, "profile cache: %d hits, %d misses\n", hits, misses)
 	return nil
 }
 

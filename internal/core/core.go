@@ -26,6 +26,10 @@ type Options struct {
 	Slack profiler.SlackOptions
 	// Seed is used when the sub-options carry none.
 	Seed uint64
+	// Jobs bounds the worker goroutines of the profiling sweep and the
+	// Algorithm 1 trial matrix when the sub-options carry none (0 =
+	// runtime.NumCPU()). Deployment results are independent of Jobs.
+	Jobs int
 }
 
 // System is a deployed Rhythm instance for one LC service: the profiling
@@ -45,6 +49,13 @@ type System struct {
 // (through the request tracer for chain services, the built-in tracer for
 // fan-out ones), contribution analysis (Eq. 1-5), the Fig. 8 loadlimit
 // rule and the Algorithm 1 slacklimit search.
+//
+// Deploy is safe to call concurrently for different services, and both the
+// profile and the slacklimit search go through the process-wide
+// content-keyed caches in internal/profiler: redeploying the same
+// (service, options, seed) triple — from any goroutine — reuses the first
+// deployment's results. The internal sweeps parallelize across opts.Jobs
+// workers; the returned System is identical for every worker count.
 func Deploy(svc *workload.Service, opts Options) (*System, error) {
 	if svc == nil {
 		return nil, fmt.Errorf("core: nil service")
@@ -55,11 +66,17 @@ func Deploy(svc *workload.Service, opts Options) (*System, error) {
 	if opts.Slack.Seed == 0 {
 		opts.Slack.Seed = opts.Seed + 1
 	}
-	prof, err := profiler.Run(svc, opts.Profile)
+	if opts.Profile.Jobs == 0 {
+		opts.Profile.Jobs = opts.Jobs
+	}
+	if opts.Slack.Jobs == 0 {
+		opts.Slack.Jobs = opts.Jobs
+	}
+	prof, err := profiler.CachedRun(svc, opts.Profile)
 	if err != nil {
 		return nil, fmt.Errorf("core: profiling %s: %w", svc.Name, err)
 	}
-	slack, err := profiler.FindSlacklimits(prof, opts.Slack)
+	slack, err := profiler.CachedSlacklimits(profiler.ProfileKey(svc, opts.Profile), prof, opts.Slack)
 	if err != nil {
 		return nil, fmt.Errorf("core: slacklimit search for %s: %w", svc.Name, err)
 	}

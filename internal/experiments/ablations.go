@@ -34,7 +34,7 @@ func ablationContribution(ctx *Context) (*Table, error) {
 	if ctx.Opts.Quick {
 		n = 4000
 	}
-	rng := sim.NewRNG(ctx.Opts.Seed).Fork("ablation-contribution")
+	rng := ctx.ScratchRNG("ablation-contribution")
 	const load = 0.6
 
 	soloSJ := make(map[string]queueing.Sojourn)

@@ -3,6 +3,20 @@
 // the relevant pipeline on the simulation substrate and returns a typed
 // Table whose rows mirror the series the paper plots. The benchmark
 // harness (bench_test.go) and the rhythm CLI both print these tables.
+//
+// # Thread safety
+//
+// A Context is safe for concurrent use: RunAll executes experiments on a
+// worker pool, and the shared state a Context caches — deployed systems,
+// grid comparisons, the threshold sweep — is guarded by per-key
+// singleflight entries, so concurrent experiments needing the same
+// expensive artifact compute it once and block for the result while
+// distinct artifacts compute in parallel. Every experiment derives its
+// randomness from content-keyed substreams of Opts.Seed (sim.RNG.Fork /
+// sim.SubSeed; never a shared generator), which is why a table is
+// byte-identical no matter how many workers ran the registry — the
+// property TestRunAllParallelMatchesSerial locks in. Tables returned by
+// Run/RunAll are fresh per call and owned by the caller.
 package experiments
 
 import (
@@ -14,6 +28,7 @@ import (
 
 	"rhythm/internal/core"
 	"rhythm/internal/profiler"
+	"rhythm/internal/sim"
 	"rhythm/internal/workload"
 )
 
@@ -77,6 +92,11 @@ type Options struct {
 	// Quick trades precision for speed: coarser sweeps and shorter runs.
 	// Benches and tests use Quick; the CLI defaults to the full scale.
 	Quick bool
+	// Jobs bounds the worker goroutines used by RunAll and by the
+	// parallel sweeps inside deployments, grid prefetches and threshold
+	// sweeps (0 = runtime.NumCPU()). Jobs affects wall-clock time only:
+	// every table is byte-identical for every worker count.
+	Jobs int
 }
 
 func (o Options) withDefaults() Options {
@@ -86,21 +106,58 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Context caches expensive shared state (deployed Rhythm systems) across
-// experiments in one process, mirroring the paper's profile-once design.
+// Context caches expensive shared state (deployed Rhythm systems, grid
+// comparisons, threshold sweeps) across experiments in one process,
+// mirroring the paper's profile-once design. Each cache entry is a
+// singleflight slot: concurrent experiments wanting the same artifact
+// share one computation, while distinct artifacts proceed in parallel.
 type Context struct {
 	Opts Options
 
-	mu         sync.Mutex
-	systems    map[string]*core.System
-	grid       map[gridKey]*core.Comparison
+	mu      sync.Mutex
+	systems map[string]*systemEntry
+	grid    map[gridKey]*gridEntry
+
+	gridOnce sync.Once
+	gridErr  error
+
+	sweepOnce  sync.Once
+	sweepErr   error
 	sweepSlack []sweepPoint
 	sweepLoad  []sweepPoint
 }
 
+type systemEntry struct {
+	once sync.Once
+	sys  *core.System
+	err  error
+}
+
+type gridEntry struct {
+	once sync.Once
+	cmp  *core.Comparison
+	err  error
+}
+
 // NewContext returns a fresh experiment context.
 func NewContext(opts Options) *Context {
-	return &Context{Opts: opts.withDefaults(), systems: make(map[string]*core.System)}
+	return &Context{
+		Opts:    opts.withDefaults(),
+		systems: make(map[string]*systemEntry),
+		grid:    make(map[gridKey]*gridEntry),
+	}
+}
+
+// jobs resolves the context's worker count.
+func (c *Context) jobs() int { return sim.Jobs(c.Opts.Jobs) }
+
+// ScratchRNG returns the experiment-private random substream for label
+// (by convention the experiment ID). Every call builds the stream from a
+// fresh parent, so concurrent experiments never touch a shared generator,
+// and the stream depends only on (Opts.Seed, label) — not on which worker
+// runs the experiment or in what order.
+func (c *Context) ScratchRNG(label string) *sim.RNG {
+	return sim.NewRNG(c.Opts.Seed).Fork(label)
 }
 
 // profileOptions returns the sweep configuration for the context scale.
@@ -112,44 +169,51 @@ func (c *Context) profileOptions() profiler.Options {
 			UseTracer:     true,
 			TraceRequests: 300,
 			Seed:          c.Opts.Seed,
+			Jobs:          c.Opts.Jobs,
 		}
 	}
 	return profiler.Options{
 		LevelDuration: 12 * time.Second,
 		UseTracer:     true,
 		Seed:          c.Opts.Seed,
+		Jobs:          c.Opts.Jobs,
 	}
 }
 
 func (c *Context) slackOptions() profiler.SlackOptions {
 	if c.Opts.Quick {
-		return profiler.SlackOptions{StepDuration: 80 * time.Second, Seed: c.Opts.Seed + 1}
+		return profiler.SlackOptions{StepDuration: 80 * time.Second, Seed: c.Opts.Seed + 1, Jobs: c.Opts.Jobs}
 	}
-	return profiler.SlackOptions{Seed: c.Opts.Seed + 1}
+	return profiler.SlackOptions{Seed: c.Opts.Seed + 1, Jobs: c.Opts.Jobs}
 }
 
 // System returns the deployed Rhythm system for the named service,
-// deploying (profiling + thresholding) on first use.
+// deploying (profiling + thresholding) on first use. Concurrent callers
+// for one service share a single deployment; deployments of different
+// services proceed in parallel (and hit the process-wide profile cache,
+// so fresh contexts with the same options redeploy almost for free).
 func (c *Context) System(service string) (*core.System, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if sys, ok := c.systems[service]; ok {
-		return sys, nil
+	e, ok := c.systems[service]
+	if !ok {
+		e = &systemEntry{}
+		c.systems[service] = e
 	}
-	svc, err := workload.ByName(service)
-	if err != nil {
-		return nil, err
-	}
-	sys, err := core.Deploy(svc, core.Options{
-		Profile: c.profileOptions(),
-		Slack:   c.slackOptions(),
-		Seed:    c.Opts.Seed,
+	c.mu.Unlock()
+	e.once.Do(func() {
+		svc, err := workload.ByName(service)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.sys, e.err = core.Deploy(svc, core.Options{
+			Profile: c.profileOptions(),
+			Slack:   c.slackOptions(),
+			Seed:    c.Opts.Seed,
+			Jobs:    c.Opts.Jobs,
+		})
 	})
-	if err != nil {
-		return nil, err
-	}
-	c.systems[service] = sys
-	return sys, nil
+	return e.sys, e.err
 }
 
 // Runner generates one experiment table.

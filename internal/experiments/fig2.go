@@ -106,7 +106,7 @@ func fig2(ctx *Context) (*Table, error) {
 		{workload.Redis(), []string{"Master", "Slave"}},
 		{workload.ECommerce(), []string{"Tomcat", "MySQL"}},
 	}
-	rng := sim.NewRNG(ctx.Opts.Seed).Fork("fig2")
+	rng := ctx.ScratchRNG("fig2")
 
 	// increase[src][pod] accumulates the mean increase for the notes.
 	increase := map[string]map[string]float64{}
@@ -176,7 +176,7 @@ func fig7(ctx *Context) (*Table, error) {
 		Columns: []string{"servpod", "contribution", "mixed", "stream-dram", "CPU-stress", "stream-llc"},
 	}
 	svc := sys.Service
-	rng := sim.NewRNG(ctx.Opts.Seed).Fork("fig7")
+	rng := ctx.ScratchRNG("fig7")
 	const load = 0.6
 
 	soloSJ := make(map[string]queueing.Sojourn)

@@ -8,6 +8,7 @@ import (
 	"rhythm/internal/core"
 	"rhythm/internal/engine"
 	"rhythm/internal/loadgen"
+	"rhythm/internal/sim"
 )
 
 func init() {
@@ -56,41 +57,67 @@ type gridKey struct {
 	load    float64
 }
 
-// gridRuns computes (and caches on the context) the Rhythm-vs-Heracles
-// comparison for every grid cell.
+// gridRun computes (and caches on the context) the Rhythm-vs-Heracles
+// comparison for one grid cell. Each cell is a singleflight entry: the
+// first arrival runs the comparison, concurrent arrivals block for it.
+// The cell's seed is derived from the cell's content, so the value is the
+// same whichever experiment or worker computes it first.
 func (c *Context) gridRun(key gridKey) (*core.Comparison, error) {
 	c.mu.Lock()
-	if c.grid == nil {
-		c.grid = make(map[gridKey]*core.Comparison)
-	}
-	if cmp, ok := c.grid[key]; ok {
-		c.mu.Unlock()
-		return cmp, nil
+	e, ok := c.grid[key]
+	if !ok {
+		e = &gridEntry{}
+		c.grid[key] = e
 	}
 	c.mu.Unlock()
-
-	sys, err := c.System(key.service)
-	if err != nil {
-		return nil, err
-	}
-	dur, warm := 120*time.Second, 30*time.Second
-	if c.Opts.Quick {
-		dur, warm = 50*time.Second, 16*time.Second
-	}
-	cmp, err := sys.Compare(core.RunConfig{
-		Pattern:  loadgen.Constant(key.load),
-		BETypes:  []bejobs.Type{key.be},
-		Duration: dur,
-		Warmup:   warm,
-		Seed:     c.Opts.Seed ^ hash(string(key.be)+key.service) ^ uint64(key.load*1000),
+	e.once.Do(func() {
+		sys, err := c.System(key.service)
+		if err != nil {
+			e.err = err
+			return
+		}
+		dur, warm := 120*time.Second, 30*time.Second
+		if c.Opts.Quick {
+			dur, warm = 50*time.Second, 16*time.Second
+		}
+		e.cmp, e.err = sys.Compare(core.RunConfig{
+			Pattern:  loadgen.Constant(key.load),
+			BETypes:  []bejobs.Type{key.be},
+			Duration: dur,
+			Warmup:   warm,
+			Seed:     c.Opts.Seed ^ hash(string(key.be)+key.service) ^ uint64(key.load*1000),
+		})
 	})
-	if err != nil {
-		return nil, err
+	return e.cmp, e.err
+}
+
+// gridKeys enumerates every cell of the Figs. 9-14 grid in rendering
+// order.
+func (c *Context) gridKeys() []gridKey {
+	var keys []gridKey
+	for _, gs := range gridServices {
+		for _, be := range bejobs.EvaluationTypes() {
+			for _, load := range gridLoads(c.Opts.Quick) {
+				keys = append(keys, gridKey{gs.Service, be, load})
+			}
+		}
 	}
-	c.mu.Lock()
-	c.grid[key] = cmp
-	c.mu.Unlock()
-	return cmp, nil
+	return keys
+}
+
+// ensureGrid computes every grid cell across the context's worker pool.
+// All six grid figures share the cells, so the first grid experiment pays
+// for the sweep once — in parallel — and the rest render from cache. The
+// first error in cell order is reported, matching the serial loop.
+func (c *Context) ensureGrid() error {
+	c.gridOnce.Do(func() {
+		keys := c.gridKeys()
+		c.gridErr = sim.ForEachErr(len(keys), c.jobs(), func(i int) error {
+			_, err := c.gridRun(keys[i])
+			return err
+		})
+	})
+	return c.gridErr
 }
 
 func hash(s string) uint64 {
@@ -105,6 +132,9 @@ func hash(s string) uint64 {
 // podGrid renders Figs. 9-11: the focus Servpod's metric under Rhythm and
 // Heracles across BE types and loads.
 func podGrid(ctx *Context, id, metric string, get func(*engine.PodStats) float64) (*Table, error) {
+	if err := ctx.ensureGrid(); err != nil {
+		return nil, err
+	}
 	loads := gridLoads(ctx.Opts.Quick)
 	cols := []string{"servpod/service", "BE", "policy"}
 	for _, l := range loads {
@@ -155,6 +185,9 @@ func podGrid(ctx *Context, id, metric string, get func(*engine.PodStats) float64
 // serviceGrid renders Figs. 12-14: the relative improvement of a
 // service-level metric, (Rhythm-Heracles)/Heracles.
 func serviceGrid(ctx *Context, id, metric string, get func(*engine.RunStats) float64) (*Table, error) {
+	if err := ctx.ensureGrid(); err != nil {
+		return nil, err
+	}
 	loads := gridLoads(ctx.Opts.Quick)
 	cols := []string{"service", "BE"}
 	for _, l := range loads {

@@ -6,6 +6,7 @@ import (
 	"rhythm/internal/bejobs"
 	"rhythm/internal/controller"
 	"rhythm/internal/core"
+	"rhythm/internal/sim"
 )
 
 func init() {
@@ -123,14 +124,17 @@ type sweepPoint struct {
 }
 
 func (c *Context) thresholdSweep() (slack, load []sweepPoint, err error) {
-	c.mu.Lock()
-	if c.sweepSlack != nil {
-		s, l := c.sweepSlack, c.sweepLoad
-		c.mu.Unlock()
-		return s, l, nil
-	}
-	c.mu.Unlock()
+	c.sweepOnce.Do(func() {
+		c.sweepSlack, c.sweepLoad, c.sweepErr = c.runThresholdSweep()
+	})
+	return c.sweepSlack, c.sweepLoad, c.sweepErr
+}
 
+// runThresholdSweep measures every sweep configuration. The points are
+// independent runs under the same production pattern and seed, so they
+// fan out across the worker pool and land in per-index slots — the
+// returned slices are identical for every worker count.
+func (c *Context) runThresholdSweep() (slack, load []sweepPoint, err error) {
 	sys, err := c.System("E-commerce")
 	if err != nil {
 		return nil, nil, err
@@ -178,6 +182,14 @@ func (c *Context) thresholdSweep() (slack, load []sweepPoint, err error) {
 		}, nil
 	}
 
+	// Enumerate the configurations first (cheap and serial), then measure
+	// them in parallel.
+	type sweepCfg struct {
+		level, value float64
+		th           controller.Thresholds
+		isLoad       bool
+	}
+	var cfgs []sweepCfg
 	levels := []float64{0.7, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3}
 	for _, lv := range levels {
 		// Vary slacklimit, fix loadlimit.
@@ -185,28 +197,41 @@ func (c *Context) thresholdSweep() (slack, load []sweepPoint, err error) {
 		if sl > 1 {
 			sl = 1
 		}
-		p, err := run(controller.Thresholds{Loadlimit: base.Loadlimit, Slacklimit: sl})
-		if err != nil {
-			return nil, nil, err
-		}
-		p.Level, p.Value = lv, sl
-		slack = append(slack, p)
+		cfgs = append(cfgs, sweepCfg{
+			level: lv, value: sl,
+			th: controller.Thresholds{Loadlimit: base.Loadlimit, Slacklimit: sl},
+		})
 
 		// Vary loadlimit, fix slacklimit. The paper stops at 120%
 		// because 130% of the loadlimit is out of range; mirror that.
 		ll := base.Loadlimit * lv
 		if lv <= 1.2 && ll <= 1.0 {
-			p, err := run(controller.Thresholds{Loadlimit: ll, Slacklimit: base.Slacklimit})
-			if err != nil {
-				return nil, nil, err
-			}
-			p.Level, p.Value = lv, ll
-			load = append(load, p)
+			cfgs = append(cfgs, sweepCfg{
+				level: lv, value: ll, isLoad: true,
+				th: controller.Thresholds{Loadlimit: ll, Slacklimit: base.Slacklimit},
+			})
 		}
 	}
-	c.mu.Lock()
-	c.sweepSlack, c.sweepLoad = slack, load
-	c.mu.Unlock()
+	points := make([]sweepPoint, len(cfgs))
+	err = sim.ForEachErr(len(cfgs), c.jobs(), func(i int) error {
+		p, err := run(cfgs[i].th)
+		if err != nil {
+			return err
+		}
+		p.Level, p.Value = cfgs[i].level, cfgs[i].value
+		points[i] = p
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, cfg := range cfgs {
+		if cfg.isLoad {
+			load = append(load, points[i])
+		} else {
+			slack = append(slack, points[i])
+		}
+	}
 	return slack, load, nil
 }
 

@@ -1,0 +1,194 @@
+package profiler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"rhythm/internal/bejobs"
+	"rhythm/internal/workload"
+)
+
+// This file implements the shared, content-keyed profile cache. Profiling
+// is by far the most expensive step of Deploy ("profile LC once", §3.2),
+// and every consumer in one process — core.Deploy, the experiment
+// registry, `rhythm profile` — wants the profile of the same (service,
+// options, seed) triple. The cache turns those repeated solo sweeps into
+// lookups.
+//
+// Cache-key contract: a key is the service NAME plus every option that
+// influences the result (levels, dwell, tracer settings, seed). Two rules
+// keep this sound:
+//
+//  1. Anything that changes the output must be in the key. The workload
+//     catalog is static — a name denotes one immutable spec — so the name
+//     stands in for the service's content. Callers that hand-build or
+//     mutate Service values must not use the cached entry points.
+//  2. Anything that must NOT change the output stays out of the key.
+//     Jobs (worker count) is the canonical example: the determinism tests
+//     assert that parallel and serial sweeps produce identical profiles,
+//     which is exactly the property that makes omitting Jobs sound.
+//
+// Cached values are shared: every hit returns the same *Profile pointer,
+// so consumers must treat profiles as immutable (CachedSlacklimits returns
+// a fresh map copy instead, because threshold maps are routinely edited by
+// sweep experiments). Both caches are singleflight: concurrent misses on
+// one key run the computation once and everyone blocks for the result.
+
+type profileEntry struct {
+	once sync.Once
+	prof *Profile
+	err  error
+}
+
+type slackEntry struct {
+	once sync.Once
+	sl   map[string]float64
+	err  error
+}
+
+var profileCache = struct {
+	mu     sync.Mutex
+	m      map[string]*profileEntry
+	hits   uint64
+	misses uint64
+}{m: make(map[string]*profileEntry)}
+
+var slackCache = struct {
+	mu     sync.Mutex
+	m      map[string]*slackEntry
+	hits   uint64
+	misses uint64
+}{m: make(map[string]*slackEntry)}
+
+// ProfileKey returns the cache key for profiling svc under opts: the
+// service name plus the normalized sweep options, excluding Jobs.
+func ProfileKey(svc *workload.Service, opts Options) string {
+	o := opts.normalized()
+	levels := make([]string, len(o.Levels))
+	for i, l := range o.Levels {
+		levels[i] = fmt.Sprintf("%g", l)
+	}
+	return fmt.Sprintf("%s|levels=%s|dwell=%s|seed=%d|tracer=%t|treq=%d",
+		svc.Name, strings.Join(levels, ","), o.LevelDuration, o.Seed,
+		o.UseTracer, o.TraceRequests)
+}
+
+// slackKey canonicalizes the raw SlackOptions (defaults are filled
+// deterministically from the profile, which the profileKey prefix already
+// pins down), excluding Jobs.
+func slackKey(profileKey string, opts SlackOptions) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|slack|load=%g|loads=", profileKey, opts.Load)
+	for _, l := range opts.TrialLoads {
+		fmt.Fprintf(&b, "%g,", l)
+	}
+	fmt.Fprintf(&b, "|bes=%s|sets=", joinBE(opts.BETypes))
+	for _, set := range opts.TrialSets {
+		fmt.Fprintf(&b, "%s;", joinBE(set))
+	}
+	fmt.Fprintf(&b, "|step=%s|min=%g|sub=%d|seed=%d",
+		opts.StepDuration, opts.MinSlacklimit, opts.Substeps, opts.Seed)
+	return b.String()
+}
+
+func joinBE(bes []bejobs.Type) string {
+	out := make([]string, len(bes))
+	for i, be := range bes {
+		out[i] = string(be)
+	}
+	return strings.Join(out, ",")
+}
+
+// CachedRun is Run behind the content-keyed cache: the first call for a
+// (service name, options, seed) key profiles, every later call — from any
+// goroutine — returns the same *Profile. The caller must treat the profile
+// as read-only.
+func CachedRun(svc *workload.Service, opts Options) (*Profile, error) {
+	key := ProfileKey(svc, opts)
+	profileCache.mu.Lock()
+	e, ok := profileCache.m[key]
+	if ok {
+		profileCache.hits++
+	} else {
+		e = &profileEntry{}
+		profileCache.m[key] = e
+		profileCache.misses++
+	}
+	profileCache.mu.Unlock()
+	e.once.Do(func() { e.prof, e.err = Run(svc, opts) })
+	return e.prof, e.err
+}
+
+// CachedSlacklimits is FindSlacklimits behind the cache. profileKey must
+// be the ProfileKey the profile was computed under — it pins the profile
+// content into the slacklimit key. Each call returns a fresh copy of the
+// limits map, since callers routinely modify threshold maps (Fig. 18 /
+// Table 2 sweeps).
+func CachedSlacklimits(profileKey string, prof *Profile, opts SlackOptions) (map[string]float64, error) {
+	key := slackKey(profileKey, opts)
+	slackCache.mu.Lock()
+	e, ok := slackCache.m[key]
+	if ok {
+		slackCache.hits++
+	} else {
+		e = &slackEntry{}
+		slackCache.m[key] = e
+		slackCache.misses++
+	}
+	slackCache.mu.Unlock()
+	e.once.Do(func() { e.sl, e.err = FindSlacklimits(prof, opts) })
+	if e.err != nil {
+		return nil, e.err
+	}
+	out := make(map[string]float64, len(e.sl))
+	for k, v := range e.sl {
+		out[k] = v
+	}
+	return out, nil
+}
+
+// CacheStats reports cumulative hits and misses across both the profile
+// and the slacklimit cache (a miss is the first arrival at a key; the
+// arrivals that block on an in-flight computation count as hits).
+func CacheStats() (hits, misses uint64) {
+	profileCache.mu.Lock()
+	hits, misses = profileCache.hits, profileCache.misses
+	profileCache.mu.Unlock()
+	slackCache.mu.Lock()
+	hits += slackCache.hits
+	misses += slackCache.misses
+	slackCache.mu.Unlock()
+	return hits, misses
+}
+
+// CachedKeys returns the sorted keys currently resident, for debugging and
+// tests.
+func CachedKeys() []string {
+	var out []string
+	profileCache.mu.Lock()
+	for k := range profileCache.m {
+		out = append(out, k)
+	}
+	profileCache.mu.Unlock()
+	slackCache.mu.Lock()
+	for k := range slackCache.m {
+		out = append(out, k)
+	}
+	slackCache.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// resetCache drops every cached entry and zeroes the counters (tests only).
+func resetCache() {
+	profileCache.mu.Lock()
+	profileCache.m = make(map[string]*profileEntry)
+	profileCache.hits, profileCache.misses = 0, 0
+	profileCache.mu.Unlock()
+	slackCache.mu.Lock()
+	slackCache.m = make(map[string]*slackEntry)
+	slackCache.hits, slackCache.misses = 0, 0
+	slackCache.mu.Unlock()
+}

@@ -6,6 +6,20 @@
 // Profiling is "once per LC service": its cost is linear in the number of
 // Servpods (M), not in LC x BE combinations (M x N), which is the paper's
 // scalability argument against profiling-based co-location.
+//
+// # Thread safety
+//
+// All entry points (Run, CachedRun, DeriveSLA, FindSlacklimits,
+// CachedSlacklimits, Thresholds) are safe to call from multiple
+// goroutines, provided each call receives its own *workload.Service value
+// (workload.ByName constructs a fresh one per call) or the callers share a
+// Service they all treat as read-only. Internally, load levels and
+// Algorithm 1 trial runs fan out across Options.Jobs / SlackOptions.Jobs
+// workers; every worker runs an isolated engine seeded from a per-level or
+// per-trial substream, so results are bit-identical for every worker
+// count. A returned *Profile is immutable by contract: CachedRun hands the
+// same pointer to every caller with a matching key, and no consumer may
+// mutate it (see DESIGN.md "Concurrency & determinism").
 package profiler
 
 import (
@@ -44,6 +58,25 @@ type Options struct {
 	// TraceRequests is the number of requests traced per level when the
 	// tracer is used (default 600).
 	TraceRequests int
+	// Jobs bounds the worker goroutines of the per-level sweep (0 =
+	// runtime.NumCPU()). Jobs changes wall-clock time only, never the
+	// profile, and is therefore excluded from the profile cache key.
+	Jobs int
+}
+
+// normalized returns opts with the sweep defaults applied, so that Run and
+// the cache key derivation agree on what will actually be swept.
+func (o Options) normalized() Options {
+	if len(o.Levels) == 0 {
+		o.Levels = loadgen.FineSweepLevels()
+	}
+	if o.LevelDuration <= 0 {
+		o.LevelDuration = 15 * time.Second
+	}
+	if o.TraceRequests <= 0 {
+		o.TraceRequests = 600
+	}
+	return o
 }
 
 // Profile is the result of profiling one LC service.
@@ -103,15 +136,7 @@ func Run(svc *workload.Service, opts Options) (*Profile, error) {
 	if err := svc.Validate(); err != nil {
 		return nil, err
 	}
-	if len(opts.Levels) == 0 {
-		opts.Levels = loadgen.FineSweepLevels()
-	}
-	if opts.LevelDuration <= 0 {
-		opts.LevelDuration = 15 * time.Second
-	}
-	if opts.TraceRequests <= 0 {
-		opts.TraceRequests = 600
-	}
+	opts = opts.normalized()
 	fanOut := len(svc.Graph.Paths()) > 1
 	useTracer := opts.UseTracer && !fanOut
 
@@ -136,7 +161,19 @@ func Run(svc *workload.Service, opts Options) (*Profile, error) {
 		topo = trace.NewTopology(svc)
 	}
 
-	for li, level := range opts.Levels {
+	// Each load level is an isolated engine run with a level-keyed seed,
+	// so the sweep parallelizes across Jobs workers without perturbing any
+	// other level's stream. Results land in per-level slots and are
+	// assembled in level order below, keeping the profile bit-identical to
+	// a serial sweep.
+	type levelOut struct {
+		tail     float64
+		cov      map[string]float64
+		sojourns map[string]float64
+	}
+	outs := make([]levelOut, len(opts.Levels))
+	err = sim.ForEachErr(len(opts.Levels), opts.Jobs, func(li int) error {
+		level := opts.Levels[li]
 		e, err := engine.New(engine.Config{
 			Service:        svc,
 			Pattern:        loadgen.Constant(level),
@@ -144,18 +181,21 @@ func Run(svc *workload.Service, opts Options) (*Profile, error) {
 			CollectSamples: true,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		st, err := e.Run(opts.LevelDuration)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		prof.LoadProfile.Tail = append(prof.LoadProfile.Tail, sim.Quantile(st.E2ESamples, 0.99))
+		out := levelOut{
+			tail:     sim.Quantile(st.E2ESamples, 0.99),
+			cov:      make(map[string]float64, len(svc.Components)),
+			sojourns: make(map[string]float64, len(svc.Components)),
+		}
 
 		// Per-request sojourn CoV for the Fig. 8 loadlimit rule.
 		for _, comp := range svc.Components {
-			samples := st.PerPod[comp.Name].SojournSamples
-			prof.CoV[comp.Name] = append(prof.CoV[comp.Name], sim.CoV(samples))
+			out.cov[comp.Name] = sim.CoV(st.PerPod[comp.Name].SojournSamples)
 		}
 
 		// Mean sojourns: through the tracer pipeline, or from the
@@ -163,18 +203,28 @@ func Run(svc *workload.Service, opts Options) (*Profile, error) {
 		if useTracer {
 			means, err := tracerMeans(topo, svc, level, opts, uint64(li))
 			if err != nil {
-				return nil, err
+				return err
 			}
 			for _, comp := range svc.Components {
-				prof.LoadProfile.Sojourns[comp.Name] = append(
-					prof.LoadProfile.Sojourns[comp.Name], means[comp.Name])
+				out.sojourns[comp.Name] = means[comp.Name]
 			}
 		} else {
 			for _, comp := range svc.Components {
-				samples := st.PerPod[comp.Name].SojournSamples
-				prof.LoadProfile.Sojourns[comp.Name] = append(
-					prof.LoadProfile.Sojourns[comp.Name], sim.Mean(samples))
+				out.sojourns[comp.Name] = sim.Mean(st.PerPod[comp.Name].SojournSamples)
 			}
+		}
+		outs[li] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, out := range outs {
+		prof.LoadProfile.Tail = append(prof.LoadProfile.Tail, out.tail)
+		for _, comp := range svc.Components {
+			prof.CoV[comp.Name] = append(prof.CoV[comp.Name], out.cov[comp.Name])
+			prof.LoadProfile.Sojourns[comp.Name] = append(
+				prof.LoadProfile.Sojourns[comp.Name], out.sojourns[comp.Name])
 		}
 	}
 
@@ -273,6 +323,13 @@ type SlackOptions struct {
 	Substeps int
 	// Seed drives the search runs.
 	Seed uint64
+	// Jobs bounds the worker goroutines evaluating one probe's trial
+	// matrix (TrialLoads x BE compositions) concurrently (0 =
+	// runtime.NumCPU()). The search outcome is independent of Jobs: each
+	// trial is an isolated engine run with a trial-keyed seed and the
+	// probe verdict is the OR over the matrix, so Jobs is excluded from
+	// the slacklimit cache key.
+	Jobs int
 }
 
 func (o *SlackOptions) fillDefaults(prof *Profile) {
@@ -352,25 +409,45 @@ func FindSlacklimits(prof *Profile, opts SlackOptions) (map[string]float64, erro
 	sort.Slice(order, func(i, j int) bool { return order[i].Normalized < order[j].Normalized })
 
 	sets := append([][]bejobs.Type{opts.BETypes}, opts.TrialSets...)
+	type trialCombo struct{ li, si int }
+	var combos []trialCombo
+	for li := range opts.TrialLoads {
+		for si := range sets {
+			combos = append(combos, trialCombo{li, si})
+		}
+	}
+	// One probe evaluates the whole trial matrix concurrently. The serial
+	// code short-circuited on the first violating combo; computing every
+	// combo and OR-ing the verdicts gives the identical boolean (each
+	// trial is an isolated, seed-keyed engine run with no side effects),
+	// which is what keeps the search deterministic under any Jobs.
 	trial := func(iter uint64) (bool, error) {
-		for li, tl := range opts.TrialLoads {
-			for si, set := range sets {
-				// Each trial ramps from half the probe load up to it:
-				// BE jobs fatten while there is headroom and the system
-				// then carries that state up the flank, the same shape
-				// a production trace has.
-				pattern := loadgen.Replay{
-					Samples: []float64{tl / 2, tl, tl},
-					Spacing: opts.StepDuration / 2,
-				}
-				v, err := trialRun(prof, cur, opts, set, pattern,
-					iter+uint64(si+1)*7001+uint64(li)*293)
-				if err != nil {
-					return false, err
-				}
-				if v {
-					return true, nil
-				}
+		violated := make([]bool, len(combos))
+		err := sim.ForEachErr(len(combos), opts.Jobs, func(ci int) error {
+			li, si := combos[ci].li, combos[ci].si
+			tl := opts.TrialLoads[li]
+			// Each trial ramps from half the probe load up to it:
+			// BE jobs fatten while there is headroom and the system
+			// then carries that state up the flank, the same shape
+			// a production trace has.
+			pattern := loadgen.Replay{
+				Samples: []float64{tl / 2, tl, tl},
+				Spacing: opts.StepDuration / 2,
+			}
+			v, err := trialRun(prof, cur, opts, sets[si], pattern,
+				iter+uint64(si+1)*7001+uint64(li)*293)
+			if err != nil {
+				return err
+			}
+			violated[ci] = v
+			return nil
+		})
+		if err != nil {
+			return false, err
+		}
+		for _, v := range violated {
+			if v {
+				return true, nil
 			}
 		}
 		return false, nil
@@ -424,6 +501,9 @@ func FindSlacklimits(prof *Profile, opts SlackOptions) (map[string]float64, erro
 
 // trialRun is Algorithm 1's run_system: co-locate with the candidate
 // slacklimits for the dwell and report whether the SLA was violated.
+// Concurrent trials of one probe read the slacklimits map simultaneously;
+// the search mutates it only between probes, after every trial goroutine
+// has drained, so the reads are race-free.
 func trialRun(prof *Profile, slacklimits map[string]float64, opts SlackOptions, bes []bejobs.Type, pattern loadgen.Pattern, iter uint64) (bool, error) {
 	th := make(map[string]controller.Thresholds, len(slacklimits))
 	for pod, sl := range slacklimits {

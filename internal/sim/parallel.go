@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file holds the worker-pool primitives every parallel sweep in the
+// repository is built on. The contract that keeps parallel runs
+// bit-identical to serial ones is simple and strict:
+//
+//   - fn(i) must depend only on i and on state that is read-only for the
+//     duration of the ForEach call (typically: an options struct and a
+//     seed derived from i or from content, never from a shared RNG);
+//   - fn(i) must write only to the i-th slot of pre-sized result slices,
+//     never append to shared slices or write shared maps;
+//   - the caller assembles results in index order after ForEach returns.
+//
+// Under these rules the worker count changes wall-clock time and nothing
+// else, which is what the determinism regression tests assert.
+
+// Jobs resolves a requested worker count: n itself when positive,
+// otherwise runtime.NumCPU(). Centralizing the default keeps `-jobs`,
+// Options.Jobs fields and test helpers consistent.
+func Jobs(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// ForEach runs fn(i) for every i in [0, n) on up to jobs worker
+// goroutines (jobs <= 0 selects runtime.NumCPU()). Indices are claimed
+// from an atomic counter, so the assignment of indices to workers is
+// nondeterministic — fn must follow the isolated-writes contract above.
+// With jobs == 1 (or n <= 1) the calls happen inline on the caller's
+// goroutine in index order, exactly like the pre-parallel code.
+//
+// A panic in any fn is captured and re-raised on the calling goroutine
+// after all workers have drained, so a crashing sweep fails the caller
+// rather than the whole process.
+func ForEach(n, jobs int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	jobs = Jobs(jobs)
+	if jobs > n {
+		jobs = n
+	}
+	if jobs <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		next     int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked interface{}
+	)
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if panicked == nil {
+								panicked = r
+							}
+							panicMu.Unlock()
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// ForEachErr is ForEach for fallible work: it collects one error per
+// index and returns the error with the lowest index, so the reported
+// failure is the same one a serial loop would have hit first, regardless
+// of which worker ran it. All n calls are attempted even after a failure
+// (sweeps are cheap relative to the cost of losing determinism in
+// error reporting).
+func ForEachErr(n, jobs int, fn func(i int) error) error {
+	errs := make([]error, n)
+	ForEach(n, jobs, func(i int) {
+		errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, jobs := range []int{0, 1, 2, 7, 64} {
+		n := 100
+		hits := make([]int32, n)
+		ForEach(n, jobs, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("jobs=%d: index %d visited %d times", jobs, i, h)
+			}
+		}
+	}
+	// n <= 0 is a no-op.
+	ForEach(0, 4, func(int) { t.Fatal("fn called for n=0") })
+	ForEach(-3, 4, func(int) { t.Fatal("fn called for n<0") })
+}
+
+func TestForEachResultsIndependentOfJobs(t *testing.T) {
+	// The isolated-writes contract: per-index slots assembled in order
+	// give identical results for any worker count.
+	run := func(jobs int) []uint64 {
+		out := make([]uint64, 64)
+		ForEach(len(out), jobs, func(i int) {
+			r := NewRNG(SubSeed(99, fmt.Sprintf("item/%d", i)))
+			out[i] = r.Uint64()
+		})
+		return out
+	}
+	serial := run(1)
+	for _, jobs := range []int{2, 4, 16} {
+		got := run(jobs)
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("jobs=%d: slot %d = %d, serial %d", jobs, i, got[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestForEachErrReturnsLowestIndexError(t *testing.T) {
+	errAt := func(bad ...int) error {
+		isBad := map[int]bool{}
+		for _, b := range bad {
+			isBad[b] = true
+		}
+		return ForEachErr(20, 8, func(i int) error {
+			if isBad[i] {
+				return fmt.Errorf("fail@%d", i)
+			}
+			return nil
+		})
+	}
+	if err := errAt(); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// Regardless of scheduling, the reported error is the serial-first one.
+	for trial := 0; trial < 10; trial++ {
+		err := errAt(17, 3, 11)
+		if err == nil || err.Error() != "fail@3" {
+			t.Fatalf("got %v, want fail@3", err)
+		}
+	}
+}
+
+func TestForEachErrSerialPath(t *testing.T) {
+	want := errors.New("boom")
+	err := ForEachErr(5, 1, func(i int) error {
+		if i == 2 {
+			return want
+		}
+		return nil
+	})
+	if err != want {
+		t.Fatalf("got %v, want %v", err, want)
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r == nil {
+					t.Fatalf("jobs=%d: panic did not propagate", jobs)
+				}
+			}()
+			ForEach(10, jobs, func(i int) {
+				if i == 5 {
+					panic("kaboom")
+				}
+			})
+		}()
+	}
+}
+
+func TestJobsDefault(t *testing.T) {
+	if Jobs(3) != 3 {
+		t.Fatal("positive request not honored")
+	}
+	if Jobs(0) < 1 || Jobs(-1) < 1 {
+		t.Fatal("default must be at least 1")
+	}
+}

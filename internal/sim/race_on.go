@@ -1,0 +1,8 @@
+//go:build race
+
+package sim
+
+// RaceEnabled reports whether the binary was built with -race. Tests use
+// it to shrink sweeps whose full-scale cost is prohibitive under the race
+// detector's ~5-10x slowdown.
+const RaceEnabled = true

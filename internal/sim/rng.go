@@ -1,11 +1,26 @@
 // Package sim provides the deterministic discrete-event simulation kernel
 // used by every substrate in this repository: a virtual clock with an event
 // heap, a seeded splitmix64 random number generator, the latency
-// distributions the workload models draw from, and numerically stable
-// statistics helpers.
+// distributions the workload models draw from, numerically stable
+// statistics helpers, and the worker-pool primitives (ForEach, ForEachErr)
+// that parallel sweeps are built on.
 //
 // Everything in sim is deterministic under a fixed seed so that experiments
 // (and tests) are exactly reproducible.
+//
+// # Thread safety
+//
+// The stateless helpers (statistics, distributions with value receivers,
+// SubSeed, Jobs) are safe for concurrent use. The stateful types — RNG and
+// Clock — are NOT safe for concurrent use: each goroutine must own its
+// generator and clock. The supported way to hand randomness to concurrent
+// workers is to derive an independent substream per unit of work before (or
+// without) sharing: either Fork a child RNG per worker from a parent that a
+// single goroutine owns, or compute a per-work-item seed with SubSeed and
+// have each worker construct its own NewRNG. Two goroutines must never call
+// methods (including Fork) on the same RNG concurrently — Fork reads the
+// parent's state, so even "read-only" forking races with any sibling that
+// is drawing numbers. See DESIGN.md "Concurrency & determinism".
 package sim
 
 import "math"
@@ -26,13 +41,36 @@ func NewRNG(seed uint64) *RNG {
 
 // Fork derives an independent generator from r, keyed by label so that the
 // same entity always receives the same stream regardless of creation order.
+//
+// Fork reads (but does not advance) the parent's state, so the child's
+// stream depends on how many numbers the parent has already drawn. Two
+// rules follow for parallel code: fork all substreams from a single
+// goroutine before workers start (or give each call site its own fresh
+// parent, NewRNG(seed).Fork(label)), and never call Fork on an RNG that
+// another goroutine may be using — that is a data race, not merely a
+// determinism hazard.
 func (r *RNG) Fork(label string) *RNG {
+	return &RNG{state: r.state ^ labelHash(label) ^ 0x9e3779b97f4a7c15}
+}
+
+// SubSeed returns the seed of the substream that NewRNG(seed).Fork(label)
+// would produce, without allocating the intermediate generators. It is the
+// preferred way to derive per-work-item seeds for parallel sweeps (one
+// label per level, trial or experiment): workers receive plain uint64
+// seeds, so no RNG is ever shared, and the resulting streams are
+// independent of both worker count and execution order.
+func SubSeed(seed uint64, label string) uint64 {
+	return seed ^ labelHash(label) ^ 0x9e3779b97f4a7c15
+}
+
+// labelHash is FNV-1a over the label bytes.
+func labelHash(label string) uint64 {
 	h := uint64(14695981039346656037) // FNV-1a offset basis
 	for i := 0; i < len(label); i++ {
 		h ^= uint64(label[i])
 		h *= 1099511628211
 	}
-	return &RNG{state: r.state ^ h ^ 0x9e3779b97f4a7c15}
+	return h
 }
 
 // Uint64 returns the next 64 random bits.

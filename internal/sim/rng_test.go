@@ -163,3 +163,21 @@ func TestShufflePreservesMultiset(t *testing.T) {
 		t.Fatalf("shuffle changed contents: sum %d != %d", got, sum)
 	}
 }
+
+func TestSubSeedMatchesFork(t *testing.T) {
+	for _, label := range []string{"", "level/0", "trial/3/1", "experiment/fig9"} {
+		forked := NewRNG(2020).Fork(label)
+		seeded := NewRNG(SubSeed(2020, label))
+		for i := 0; i < 50; i++ {
+			if forked.Uint64() != seeded.Uint64() {
+				t.Fatalf("SubSeed(%q) stream diverged from Fork at step %d", label, i)
+			}
+		}
+	}
+	if SubSeed(2020, "a") == SubSeed(2020, "b") {
+		t.Fatal("different labels produced the same subseed")
+	}
+	if SubSeed(1, "a") == SubSeed(2, "a") {
+		t.Fatal("different parents produced the same subseed")
+	}
+}

@@ -74,10 +74,16 @@ type (
 	Profile = profiler.Profile
 	// ExperimentTable is one regenerated paper table or figure.
 	ExperimentTable = experiments.Table
-	// ExperimentOptions shapes experiment runs (seed, quick/full scale).
+	// ExperimentOptions shapes experiment runs (seed, quick/full scale,
+	// worker count).
 	ExperimentOptions = experiments.Options
-	// ExperimentContext caches deployed systems across experiments.
+	// ExperimentContext caches deployed systems across experiments. It is
+	// safe for concurrent use; ExperimentContext.RunAll fans the registry
+	// out across a worker pool with byte-identical tables for any worker
+	// count (see DESIGN.md "Concurrency & determinism").
 	ExperimentContext = experiments.Context
+	// ExperimentResult is one experiment's outcome in a RunAll batch.
+	ExperimentResult = experiments.Result
 )
 
 // The seven BE job types of Table 1.
