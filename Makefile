@@ -1,15 +1,17 @@
 # Pre-PR gate for the Rhythm reproduction. `make check` is the bar every
 # change must clear (see README "Install / build"): formatting, vet, a
-# clean build, and the full test suite under the race detector — the
-# experiment engine is concurrent, so -race is part of tier-1 here, not an
-# extra. The race run uses a raised timeout: -race slows the simulation
-# ~5-10x and the experiments package regenerates real figures.
+# clean build, the differential-exactness test for the incremental tail
+# tracker (uncached, so it always actually runs), and the full test suite
+# under the race detector — the experiment engine is concurrent, so -race
+# is part of tier-1 here, not an extra. The race run uses a raised timeout:
+# -race slows the simulation ~5-10x and the experiments package regenerates
+# real figures.
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test exact race bench bench-tables
 
-check: fmt vet build race
+check: fmt vet build exact race
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -24,8 +26,22 @@ build:
 test:
 	$(GO) test ./...
 
+# exact pins the incremental TailTracker to the copy-and-sort oracle
+# (DESIGN.md §7.5): every experiment table depends on this equality.
+exact:
+	$(GO) test ./internal/metrics -run TestTailTrackerMatchesReference -count=1
+
 race:
 	$(GO) test -race -timeout 45m ./...
 
+# bench runs the measurement hot-path micro benchmarks and refreshes
+# BENCH_engine.json (ns/op, allocs/op, B/op per benchmark) — the perf
+# trajectory every optimization PR is measured against. See README
+# "Benchmarks" for the file format.
 bench:
+	$(GO) run ./cmd/rhythm-bench -out BENCH_engine.json
+
+# bench-tables regenerates every evaluation table through the benchmark
+# harness (the pre-PR-2 `make bench`).
+bench-tables:
 	$(GO) test -bench=. -benchmem

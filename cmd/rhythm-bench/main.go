@@ -1,0 +1,99 @@
+// Command rhythm-bench runs the measurement hot-path micro benchmarks
+// (internal/benchmarks) through testing.Benchmark and writes the results as
+// JSON — the BENCH_engine.json trajectory file `make bench` maintains.
+//
+// Output format (one object; "benchmarks" in fixed registry order):
+//
+//	{
+//	  "schema": "rhythm-bench/v1",
+//	  "goos": "linux", "goarch": "amd64", "cpus": 8,
+//	  "benchmarks": [
+//	    {"name": "EngineTick", "iters": 1234, "ns_per_op": 98765.4,
+//	     "allocs_per_op": 3, "bytes_per_op": 512},
+//	    ...
+//	  ]
+//	}
+//
+// ns_per_op is wall time and varies with the host; allocs_per_op and
+// bytes_per_op are deterministic for a given build and are what the
+// acceptance gates compare across PRs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"rhythm/internal/benchmarks"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type report struct {
+	Schema     string   `json:"schema"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	CPUs       int      `json:"cpus"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+// registry fixes the benchmark order so successive BENCH_engine.json files
+// diff cleanly.
+var registry = []struct {
+	name string
+	fn   func(*testing.B)
+}{
+	{"TailTrackerAdd", benchmarks.TailTrackerAdd},
+	{"TailTrackerAddP99", benchmarks.TailTrackerAddP99},
+	{"EngineTick", benchmarks.EngineTick},
+	{"PathP99", benchmarks.PathP99},
+}
+
+func main() {
+	out := flag.String("out", "BENCH_engine.json", "output file (- for stdout)")
+	flag.Parse()
+
+	rep := report{
+		Schema: "rhythm-bench/v1",
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		CPUs:   runtime.NumCPU(),
+	}
+	for _, entry := range registry {
+		r := testing.Benchmark(entry.fn)
+		rep.Benchmarks = append(rep.Benchmarks, result{
+			Name:        entry.name,
+			Iters:       r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "%-20s %10d iters  %12.1f ns/op  %6d allocs/op  %8d B/op\n",
+			entry.name, r.N, float64(r.T.Nanoseconds())/float64(r.N),
+			r.AllocsPerOp(), r.AllocedBytesPerOp())
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rhythm-bench:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "rhythm-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -15,15 +15,21 @@
 //	              full evaluation scale)
 //	-seed N       RNG seed (default 2020)
 //	-jobs N       parallel worker count (default runtime.NumCPU(); 1 runs
-//	              serially). Tables are byte-identical for every N — only
-//	              wall-clock time changes. Tables go to stdout; timing,
-//	              speedup and profile-cache statistics go to stderr, so
-//	              redirected output is stable across worker counts.
+//	              serially; 0 or negative is a usage error). Tables are
+//	              byte-identical for every N — only wall-clock time
+//	              changes. Tables go to stdout; timing, speedup and
+//	              profile-cache statistics go to stderr, so redirected
+//	              output is stable across worker counts.
+//
+// Exit codes: 0 on success, 1 when an experiment or profile fails while
+// running, 2 for usage errors (unknown command or experiment id, missing
+// arguments, invalid flag values).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -37,41 +43,85 @@ import (
 )
 
 func main() {
-	quick := flag.Bool("quick", true, "reduced experiment scale")
-	seed := flag.Uint64("seed", 2020, "RNG seed")
-	jobs := flag.Int("jobs", runtime.NumCPU(),
-		"parallel worker count (1 = serial; output is identical for any value)")
-	flag.Usage = usage
-	flag.Parse()
-	args := flag.Args()
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain is main with injectable argv and streams so that flag/argument
+// validation — including exit codes — is table-testable. Usage errors
+// (bad flags, unknown commands or experiment ids) return 2 before any
+// experiment work starts; runtime failures return 1.
+func realMain(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rhythm", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", true, "reduced experiment scale")
+	seed := fs.Uint64("seed", 2020, "RNG seed")
+	jobs := fs.Int("jobs", runtime.NumCPU(),
+		"parallel worker count (>= 1; output is identical for any value)")
+	fs.Usage = func() { usage(fs, stderr) }
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	args := fs.Args()
 	if len(args) == 0 {
-		usage()
-		os.Exit(2)
+		usage(fs, stderr)
+		return 2
+	}
+	// -jobs 0 or negative used to silently fall through to the worker
+	// pool's NumCPU backstop; it is a usage error.
+	if *jobs < 1 {
+		fmt.Fprintf(stderr, "rhythm: -jobs must be at least 1, got %d\n", *jobs)
+		return 2
 	}
 
 	ctx := experiments.NewContext(experiments.Options{Quick: *quick, Seed: *seed, Jobs: *jobs})
 	var err error
 	switch args[0] {
 	case "list":
-		err = list()
+		err = list(stdout)
 	case "run":
-		err = run(ctx, args[1:])
+		ids := args[1:]
+		if code := validateRunIDs(ids, stderr); code != 0 {
+			return code
+		}
+		err = run(ctx, ids, stdout, stderr)
 	case "profile":
-		err = profile(ctx, args[1:])
+		err = profile(ctx, args[1:], stdout)
 	case "catalog":
-		err = catalog()
+		err = catalog(stdout)
 	default:
-		usage()
-		os.Exit(2)
+		fmt.Fprintf(stderr, "rhythm: unknown command %q\n", args[0])
+		usage(fs, stderr)
+		return 2
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rhythm:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "rhythm:", err)
+		return 1
 	}
+	return 0
 }
 
-func usage() {
-	fmt.Fprintf(os.Stderr, `rhythm — EuroSys'20 Rhythm reproduction
+// validateRunIDs rejects a run invocation with no ids or with unknown
+// experiment ids before any experiment starts; it returns 0 when ids are
+// valid and the usage exit code otherwise.
+func validateRunIDs(ids []string, stderr io.Writer) int {
+	if len(ids) == 0 {
+		fmt.Fprintln(stderr, "rhythm: run needs experiment ids (or \"all\")")
+		return 2
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		return 0
+	}
+	for _, id := range ids {
+		if _, err := experiments.Get(id); err != nil {
+			fmt.Fprintf(stderr, "rhythm: %v (run \"rhythm list\" for the registry)\n", err)
+			return 2
+		}
+	}
+	return 0
+}
+
+func usage(fs *flag.FlagSet, stderr io.Writer) {
+	fmt.Fprintf(stderr, `rhythm — EuroSys'20 Rhythm reproduction
 
 usage:
   rhythm [flags] list
@@ -81,24 +131,21 @@ usage:
 
 flags:
 `)
-	flag.PrintDefaults()
+	fs.PrintDefaults()
 }
 
-func list() error {
+func list(stdout io.Writer) error {
 	for _, id := range experiments.IDs() {
 		e, err := experiments.Get(id)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-24s %s\n", e.ID, e.Title)
+		fmt.Fprintf(stdout, "%-24s %s\n", e.ID, e.Title)
 	}
 	return nil
 }
 
-func run(ctx *experiments.Context, ids []string) error {
-	if len(ids) == 0 {
-		return fmt.Errorf("run needs experiment ids (or \"all\")")
-	}
+func run(ctx *experiments.Context, ids []string, stdout, stderr io.Writer) error {
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = experiments.IDs()
 	}
@@ -113,21 +160,21 @@ func run(ctx *experiments.Context, ids []string) error {
 		if res.Err != nil {
 			return fmt.Errorf("%s: %w", res.ID, res.Err)
 		}
-		fmt.Println(res.Table)
-		fmt.Fprintf(os.Stderr, "(%s generated in %v)\n",
+		fmt.Fprintln(stdout, res.Table)
+		fmt.Fprintf(stderr, "(%s generated in %v)\n",
 			res.ID, res.Elapsed.Round(time.Millisecond))
 		compute += res.Elapsed
 	}
 	hits, misses := profiler.CacheStats()
-	fmt.Fprintf(os.Stderr,
+	fmt.Fprintf(stderr,
 		"\n%d experiments in %v wall (aggregate compute %v, speedup %.2fx, jobs=%d)\n",
 		len(results), wall.Round(time.Millisecond), compute.Round(time.Millisecond),
 		float64(compute)/float64(wall), sim.Jobs(ctx.Opts.Jobs))
-	fmt.Fprintf(os.Stderr, "profile cache: %d hits, %d misses\n", hits, misses)
+	fmt.Fprintf(stderr, "profile cache: %d hits, %d misses\n", hits, misses)
 	return nil
 }
 
-func profile(ctx *experiments.Context, args []string) error {
+func profile(ctx *experiments.Context, args []string, stdout io.Writer) error {
 	if len(args) != 1 {
 		return fmt.Errorf("profile needs exactly one service name")
 	}
@@ -135,36 +182,36 @@ func profile(ctx *experiments.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	printSystem(sys)
+	printSystem(sys, stdout)
 	return nil
 }
 
-func printSystem(sys *core.System) {
-	fmt.Printf("service: %s (max load %.0f QPS)\n", sys.Service.Name, sys.Service.MaxLoadQPS)
-	fmt.Printf("derived SLA (worst solo p99 at max load): %.2f ms\n", sys.SLA*1000)
-	fmt.Printf("%-16s %12s %6s %6s %8s %10s %10s\n",
+func printSystem(sys *core.System, stdout io.Writer) {
+	fmt.Fprintf(stdout, "service: %s (max load %.0f QPS)\n", sys.Service.Name, sys.Service.MaxLoadQPS)
+	fmt.Fprintf(stdout, "derived SLA (worst solo p99 at max load): %.2f ms\n", sys.SLA*1000)
+	fmt.Fprintf(stdout, "%-16s %12s %6s %6s %8s %10s %10s\n",
 		"servpod", "contribution", "rho", "alpha", "weight", "loadlimit", "slacklimit")
 	for _, c := range sys.Profile.Contributions {
 		th := sys.Thresholds[c.Pod]
-		fmt.Printf("%-16s %12.3f %6.2f %6.2f %8.3f %10.2f %10.3f\n",
+		fmt.Fprintf(stdout, "%-16s %12.3f %6.2f %6.2f %8.3f %10.2f %10.3f\n",
 			c.Pod, c.Normalized, c.Rho, c.Alpha, c.Weight, th.Loadlimit, th.Slacklimit)
 	}
 }
 
-func catalog() error {
-	fmt.Println("LC workloads (Table 1):")
+func catalog(stdout io.Writer) error {
+	fmt.Fprintln(stdout, "LC workloads (Table 1):")
 	for _, svc := range workload.Services() {
-		fmt.Printf("  %-14s %-22s maxload %-9.0f SLA(paper) %-9v containers %d\n",
+		fmt.Fprintf(stdout, "  %-14s %-22s maxload %-9.0f SLA(paper) %-9v containers %d\n",
 			svc.Name, svc.Domain, svc.MaxLoadQPS, svc.SLATable1, svc.Containers)
 		for _, c := range svc.Components {
-			fmt.Printf("      servpod %-16s cores %-3d llc %-3d mem %3.0fGB\n",
+			fmt.Fprintf(stdout, "      servpod %-16s cores %-3d llc %-3d mem %3.0fGB\n",
 				c.Name, c.Cores, c.LLCWays, c.MemoryGB)
 		}
 	}
-	fmt.Println("BE jobs (Table 1):")
+	fmt.Fprintln(stdout, "BE jobs (Table 1):")
 	for _, ty := range bejobs.Types() {
 		s := bejobs.MustLookup(ty)
-		fmt.Printf("  %-14s %-34s %s-intensive\n", s.Type, s.Domain, s.Intensive)
+		fmt.Fprintf(stdout, "  %-14s %-34s %s-intensive\n", s.Type, s.Domain, s.Intensive)
 	}
 	return nil
 }

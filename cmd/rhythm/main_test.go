@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestArgValidation is the table test for CLI flag/argument validation:
+// usage errors must exit 2 with a clear diagnostic before any experiment
+// work starts, and the cheap informational commands must succeed. No case
+// here runs an actual experiment, so the table stays fast.
+func TestArgValidation(t *testing.T) {
+	cases := []struct {
+		name     string
+		argv     []string
+		wantCode int
+		wantErr  string // substring expected on stderr ("" = none checked)
+	}{
+		{"no args", []string{}, 2, "usage:"},
+		{"unknown command", []string{"frobnicate"}, 2, `unknown command "frobnicate"`},
+		{"unknown flag", []string{"-no-such-flag", "list"}, 2, ""},
+		{"jobs zero", []string{"-jobs", "0", "list"}, 2, "-jobs must be at least 1, got 0"},
+		{"jobs negative", []string{"-jobs", "-3", "list"}, 2, "-jobs must be at least 1, got -3"},
+		{"jobs non-numeric", []string{"-jobs", "many", "list"}, 2, ""},
+		{"run without ids", []string{"run"}, 2, "run needs experiment ids"},
+		{"run unknown id", []string{"run", "fig999"}, 2, "fig999"},
+		{"run unknown id hint", []string{"run", "no-such-figure"}, 2, "rhythm list"},
+		{"run mixed known and unknown", []string{"run", "fig2", "bogus"}, 2, "bogus"},
+		{"list ok", []string{"list"}, 0, ""},
+		{"catalog ok", []string{"catalog"}, 0, ""},
+		{"profile missing arg", []string{"profile"}, 1, "profile needs exactly one service name"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := realMain(tc.argv, &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Fatalf("argv %q: exit %d, want %d (stderr: %s)",
+					tc.argv, code, tc.wantCode, stderr.String())
+			}
+			if tc.wantErr != "" && !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Fatalf("argv %q: stderr %q does not contain %q",
+					tc.argv, stderr.String(), tc.wantErr)
+			}
+			if tc.wantCode == 0 && stdout.Len() == 0 {
+				t.Fatalf("argv %q: successful command produced no output", tc.argv)
+			}
+		})
+	}
+}
+
+// TestValidateRunIDsAcceptsRegistry: every registered id and the "all"
+// alias must pass validation.
+func TestValidateRunIDsAcceptsRegistry(t *testing.T) {
+	var stderr bytes.Buffer
+	if code := validateRunIDs([]string{"all"}, &stderr); code != 0 {
+		t.Fatalf(`"all" rejected: %s`, stderr.String())
+	}
+	if code := validateRunIDs([]string{"fig2", "fig17", "tab1"}, &stderr); code != 0 {
+		t.Fatalf("registered ids rejected: %s", stderr.String())
+	}
+}

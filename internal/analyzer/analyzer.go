@@ -235,9 +235,18 @@ const loadlimitMargin = 0.10
 
 // Loadlimit applies the Fig. 8 rule: given the per-level CoV of a
 // Servpod's sojourn times, the loadlimit is the first load level whose CoV
-// exceeds the sweep-average CoV (by the noise margin). It returns the last
-// level when no level qualifies: a steady pod tolerates BE jobs at any
-// load.
+// exceeds the sweep-average CoV (by the noise margin).
+//
+// Fallback contract: when no level exceeds the threshold — a flat or
+// noise-only CoV curve with no detectable knee — Loadlimit returns the
+// LAST sweep level, deliberately: a pod whose variability never rises
+// above its own average is steady at every measured load, so it tolerates
+// BE co-location up to the top of the sweep (this is what gives Zookeeper
+// its 0.93 loadlimit and makes Solr the biggest Rhythm winner, Figs.
+// 12-15). Callers therefore never receive an error for a knee-less curve;
+// a future knee-detection change that wants different fallback behavior
+// must update the pinning test in analyzer_test.go as a deliberate
+// decision.
 func Loadlimit(levels, cov []float64) (float64, error) {
 	if len(levels) != len(cov) || len(levels) == 0 {
 		return 0, fmt.Errorf("analyzer: loadlimit needs matching non-empty series, got %d/%d",

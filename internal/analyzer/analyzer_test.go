@@ -279,6 +279,32 @@ func TestLoadlimitFlatSeries(t *testing.T) {
 	}
 }
 
+// TestLoadlimitFallbackContract pins the documented fallback: a sweep
+// whose CoV varies but never exceeds the mean-plus-margin threshold has no
+// knee, and Loadlimit must return the LAST level (steady pods tolerate BE
+// at any measured load), never an error. A knee-detection change that
+// alters this is a deliberate decision and must rewrite this test.
+func TestLoadlimitFallbackContract(t *testing.T) {
+	levels := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	// Rising but sub-threshold: mean = 0.31, threshold = 0.341, max 0.33.
+	cov := []float64{0.29, 0.30, 0.31, 0.32, 0.33}
+	ll, err := Loadlimit(levels, cov)
+	if err != nil {
+		t.Fatalf("knee-less curve must not error: %v", err)
+	}
+	if ll != 1.0 {
+		t.Fatalf("knee-less curve: loadlimit = %v, want last level 1.0", ll)
+	}
+	// Decreasing curve (noisy warm-up): still no level above threshold.
+	ll, err = Loadlimit(levels, []float64{0.33, 0.32, 0.31, 0.30, 0.29})
+	if err != nil {
+		t.Fatalf("decreasing curve must not error: %v", err)
+	}
+	if ll != 1.0 {
+		t.Fatalf("decreasing curve: loadlimit = %v, want last level 1.0", ll)
+	}
+}
+
 func TestLoadlimitValidation(t *testing.T) {
 	if _, err := Loadlimit(nil, nil); err == nil {
 		t.Fatal("empty series accepted")

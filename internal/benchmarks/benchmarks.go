@@ -1,0 +1,126 @@
+// Package benchmarks hosts the measurement hot-path micro benchmarks shared
+// by `go test -bench` (benchmarks_test.go) and the `make bench` harness
+// (cmd/rhythm-bench), which runs them through testing.Benchmark and emits
+// BENCH_engine.json. Keeping the benchmark bodies in a plain (non-test)
+// package is what lets one definition serve both entry points.
+//
+// The benchmarks cover the per-sample unit economics of the measurement
+// pipeline:
+//
+//   - TailTrackerAdd / TailTrackerAddP99: sliding-window insert+evict cost,
+//     alone and interleaved with a p99 query per sample (the worst case
+//     for the tracker's lazy reconcile).
+//   - EngineTick: one full engine tick — sojourn modeling, utilization
+//     accounting, SamplesPerTick end-to-end latency draws through the call
+//     graph, tail-tracker maintenance.
+//   - PathP99: the Monte Carlo path-tail estimator used by profiling.
+package benchmarks
+
+import (
+	"testing"
+	"time"
+
+	"rhythm/internal/engine"
+	"rhythm/internal/loadgen"
+	"rhythm/internal/metrics"
+	"rhythm/internal/queueing"
+	"rhythm/internal/sim"
+	"rhythm/internal/workload"
+)
+
+// benchWindow mirrors the engine's tracker window; benchSpacing yields the
+// same steady-state occupancy as the default engine configuration
+// (3 s window / 100 ms tick * 80 samples = 2400 live samples).
+const (
+	benchWindow  = 3 * time.Second
+	benchSpacing = 1250 * time.Microsecond // 3s / 2400
+)
+
+// TailTrackerAdd measures the pure insert+evict path at steady-state
+// occupancy (~2400 samples), with no quantile queries.
+func TailTrackerAdd(b *testing.B) {
+	tt := metrics.NewTailTracker(benchWindow)
+	rng := sim.NewRNG(2020).Fork("bench-tail-add")
+	now := sim.Time(0)
+	// Fill to steady state so every measured Add also evicts.
+	for i := 0; i < 2400; i++ {
+		now = now.Add(benchSpacing)
+		tt.Add(now, rng.Float64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = now.Add(benchSpacing)
+		tt.Add(now, rng.Float64())
+	}
+}
+
+// TailTrackerAddP99 interleaves one Add with one P99 query, the worst-case
+// pattern for a copy-and-sort tracker: every query pays the full window.
+func TailTrackerAddP99(b *testing.B) {
+	tt := metrics.NewTailTracker(benchWindow)
+	rng := sim.NewRNG(2020).Fork("bench-tail-p99")
+	now := sim.Time(0)
+	for i := 0; i < 2400; i++ {
+		now = now.Add(benchSpacing)
+		tt.Add(now, rng.Float64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		now = now.Add(benchSpacing)
+		tt.Add(now, rng.Float64())
+		sink = tt.P99()
+	}
+	_ = sink
+}
+
+// EngineTick measures one engine tick of the E-commerce service at a
+// constant 70% load: the per-tick sojourn/utilization pass over every pod
+// plus SamplesPerTick end-to-end latency samples through the call graph.
+func EngineTick(b *testing.B) {
+	e, err := engine.New(engine.Config{
+		Service: workload.ECommerce(),
+		Pattern: loadgen.Constant(0.7),
+		Seed:    2020,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const dt = 100 * time.Millisecond
+	now := sim.Time(0)
+	// Warm up past the inertia transient so the measured ticks are
+	// steady state, like the bulk of every experiment run.
+	for i := 0; i < 100; i++ {
+		now = now.Add(dt)
+		e.Step(now, 0.7)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = now.Add(dt)
+		e.Step(now, 0.7)
+	}
+}
+
+// PathP99 measures the Monte Carlo path-tail estimator over the four-stage
+// E-commerce chain with the profiler's default sample count, in the
+// scratch-reuse pattern sweeps use (one buffer across all calls).
+func PathP99(b *testing.B) {
+	svc := workload.ECommerce()
+	stages := make([]queueing.Sojourn, 0, len(svc.Components))
+	for _, c := range svc.Components {
+		stages = append(stages, c.Station.At(0.7*svc.MaxLoadQPS, 1.1, 1.2, 1))
+	}
+	rng := sim.NewRNG(2020).Fork("bench-pathp99")
+	const n = 1000
+	var buf []float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink, buf = queueing.PathP99Into(buf, stages, n, rng)
+	}
+	_ = sink
+}

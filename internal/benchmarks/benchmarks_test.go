@@ -1,0 +1,12 @@
+package benchmarks
+
+import "testing"
+
+// The benchmark bodies live in the non-test package file so that
+// cmd/rhythm-bench can run them through testing.Benchmark; these wrappers
+// expose them to `go test -bench`.
+
+func BenchmarkTailTrackerAdd(b *testing.B)    { TailTrackerAdd(b) }
+func BenchmarkTailTrackerAddP99(b *testing.B) { TailTrackerAddP99(b) }
+func BenchmarkEngineTick(b *testing.B)        { EngineTick(b) }
+func BenchmarkPathP99(b *testing.B)           { PathP99(b) }

@@ -2,25 +2,74 @@
 // sliding-window tail-latency tracking (the per-second p99 the paper's
 // controllers and SLA definition use), utilization accounting, and the
 // EMU (effective machine utilization) throughput metric of §5.1.
+//
+// TailTracker is the hot path: every engine tick adds SamplesPerTick
+// samples but only every control tick queries the window p99, over
+// millions of requests per experiment. It is therefore incremental — a
+// ring buffer for arrival order plus a sorted snapshot of the window that
+// is reconciled lazily: adds and evictions append to pending batches in
+// O(1), and a query folds the batches in by sorting only the batch and
+// merging it through the snapshot in one linear pass, after which any
+// quantile is an O(1) indexed lookup. That replaces the seed tracker's
+// copy-and-sort of the whole window on every query (O(W log W)) with
+// O(P log P + W) per reconcile, P being just the samples since the last
+// query — and with nothing at all on repeated queries of an unchanged
+// window. The results are exact, not approximate: the reconciled snapshot
+// is precisely the sorted window, and quantiles go through the very same
+// sim.QuantileSorted the seed used, which the differential test in this
+// package pins down (and `make check` runs).
 package metrics
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
 	"rhythm/internal/sim"
 )
 
+// Strict controls how TailTracker.Add treats a timestamp that runs
+// backwards (the simulation contract is non-decreasing time). When false —
+// the default — the sample's time is clamped to the latest time already
+// seen, so the window can never silently widen; when true, Add panics and
+// surfaces the caller bug. Build with -tags rhythmstrict to default to
+// panicking.
+var Strict = strictDefault
+
+// sample is one (time, value) observation in arrival order.
+type sample struct {
+	t sim.Time
+	v float64
+}
+
 // TailTracker keeps latency samples over a sliding window and reports tail
 // percentiles, mirroring the paper's per-second p99 monitoring.
+//
+// Storage is a power-of-two ring buffer: eviction recycles slots in place,
+// so the footprint is bounded by the window's high-water occupancy instead
+// of growing with the total number of samples ever added (the re-slicing
+// tracker this replaces leaked its head on every prune). The value-order
+// side keeps the same bound: sorted/scratch ping-pong at window size, and
+// the pending batches are force-reconciled before they outgrow the window.
 type TailTracker struct {
-	window  time.Duration
-	times   []sim.Time
-	values  []float64
+	window time.Duration
+	buf    []sample // ring storage; len(buf) is the capacity, a power of two
+	head   int      // index of the oldest live sample
+	n      int      // live samples
+	latest sim.Time // newest timestamp seen (Add clamps to this)
+
+	// Value order. sorted is the window multiset as of the last reconcile;
+	// added/removed are the mutations since then, in arrival order. The
+	// invariant is sorted ∪ added − removed == the live window, element
+	// for element: reconcile sorts the two batches and folds them through
+	// sorted in one merge pass, restoring added/removed to empty.
+	sorted  []float64
+	added   []float64
+	removed []float64
+	scratch []float64 // merge target, swapped with sorted each reconcile
+
 	worstAt sim.Time
 	worst   float64
-	// scratch avoids re-allocating the sort buffer on every quantile.
-	scratch []float64
 }
 
 // NewTailTracker returns a tracker with the given sliding window.
@@ -32,36 +81,113 @@ func NewTailTracker(window time.Duration) *TailTracker {
 }
 
 // Add records a latency sample observed at time t. Samples must arrive in
-// non-decreasing time order (the simulation is single-threaded).
+// non-decreasing time order (the simulation is single-threaded); a
+// backwards t is clamped to the latest time seen, or panics when Strict.
 func (tt *TailTracker) Add(t sim.Time, v float64) {
-	tt.times = append(tt.times, t)
-	tt.values = append(tt.values, v)
+	if t < tt.latest {
+		if Strict {
+			panic(fmt.Sprintf("metrics: TailTracker.Add time ran backwards: %v after %v", t, tt.latest))
+		}
+		t = tt.latest
+	}
+	tt.latest = t
+	if tt.n == len(tt.buf) {
+		tt.grow()
+	}
+	tt.buf[(tt.head+tt.n)&(len(tt.buf)-1)] = sample{t: t, v: v}
+	tt.n++
+	tt.added = append(tt.added, v)
 	tt.prune(t)
+	// Keep memory bounded even if the caller never queries: once the
+	// pending batches reach window size, fold them in now.
+	if len(tt.added)+len(tt.removed) > tt.n+64 {
+		tt.reconcile()
+	}
+}
+
+// grow doubles the ring (64 slots minimum), restoring arrival order from
+// the head.
+func (tt *TailTracker) grow() {
+	newCap := len(tt.buf) * 2
+	if newCap == 0 {
+		newCap = 64
+	}
+	buf := make([]sample, newCap)
+	for i := 0; i < tt.n; i++ {
+		buf[i] = tt.buf[(tt.head+i)&(len(tt.buf)-1)]
+	}
+	tt.buf = buf
+	tt.head = 0
 }
 
 // prune drops samples older than the window.
 func (tt *TailTracker) prune(now sim.Time) {
-	cut := 0
-	for cut < len(tt.times) && now.Sub(tt.times[cut]) > tt.window {
-		cut++
-	}
-	if cut > 0 {
-		tt.times = tt.times[cut:]
-		tt.values = tt.values[cut:]
+	for tt.n > 0 {
+		s := tt.buf[tt.head]
+		if now.Sub(s.t) <= tt.window {
+			break
+		}
+		tt.removed = append(tt.removed, s.v)
+		tt.head = (tt.head + 1) & (len(tt.buf) - 1)
+		tt.n--
 	}
 }
 
+// reconcile folds the pending added/removed batches into the sorted
+// snapshot: sort each batch (O(P log P)), then one merge pass over
+// snapshot+batch that skips each removed value exactly once (O(W)). Both
+// batches are multisets of values known to be in snapshot ∪ added, and the
+// merge visits values in ascending order, so consuming removed front to
+// front matches every eviction against one equal element.
+func (tt *TailTracker) reconcile() {
+	if len(tt.added) == 0 && len(tt.removed) == 0 {
+		return
+	}
+	sort.Float64s(tt.added)
+	sort.Float64s(tt.removed)
+	base, add, rem := tt.sorted, tt.added, tt.removed
+	out := tt.scratch[:0]
+	i, j, k := 0, 0, 0
+	for i < len(base) || j < len(add) {
+		var v float64
+		if j >= len(add) || (i < len(base) && base[i] <= add[j]) {
+			v = base[i]
+			i++
+		} else {
+			v = add[j]
+			j++
+		}
+		if k < len(rem) && rem[k] == v {
+			k++
+			continue
+		}
+		out = append(out, v)
+	}
+	tt.scratch = tt.sorted[:0]
+	tt.sorted = out
+	tt.added = tt.added[:0]
+	tt.removed = tt.removed[:0]
+}
+
 // N returns the number of samples currently in the window.
-func (tt *TailTracker) N() int { return len(tt.values) }
+func (tt *TailTracker) N() int { return tt.n }
+
+// Cap returns the ring capacity in samples. It is bounded by twice the
+// window's high-water occupancy (plus the 64-slot floor) — the regression
+// test for the old tracker's unbounded growth reads it.
+func (tt *TailTracker) Cap() int { return len(tt.buf) }
 
 // Quantile returns the q-quantile over the current window (0 when empty).
+// After reconciling any pending mutations it evaluates sim.QuantileSorted
+// on the sorted snapshot — the identical computation the seed tracker ran
+// on a fresh sorted copy, minus the copy and the sort. Repeated queries of
+// an unchanged window are pure O(1) lookups.
 func (tt *TailTracker) Quantile(q float64) float64 {
-	if len(tt.values) == 0 {
+	if tt.n == 0 {
 		return 0
 	}
-	tt.scratch = append(tt.scratch[:0], tt.values...)
-	sort.Float64s(tt.scratch)
-	return sim.QuantileSorted(tt.scratch, q)
+	tt.reconcile()
+	return sim.QuantileSorted(tt.sorted, q)
 }
 
 // P99 returns the 99th percentile over the current window.

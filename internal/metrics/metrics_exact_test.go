@@ -1,0 +1,174 @@
+package metrics
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"rhythm/internal/sim"
+)
+
+// refTracker is the seed implementation kept as the test oracle: append
+// slices, prune by re-slicing, quantile by copy-and-sort. The incremental
+// TailTracker must match it bit for bit on every query — that equality is
+// what keeps all experiment tables byte-identical across the rewrite.
+type refTracker struct {
+	window time.Duration
+	times  []sim.Time
+	values []float64
+	latest sim.Time
+}
+
+func (rt *refTracker) add(t sim.Time, v float64) {
+	if t < rt.latest {
+		t = rt.latest // same clamp contract as TailTracker.Add
+	}
+	rt.latest = t
+	rt.times = append(rt.times, t)
+	rt.values = append(rt.values, v)
+	cut := 0
+	for cut < len(rt.times) && t.Sub(rt.times[cut]) > rt.window {
+		cut++
+	}
+	if cut > 0 {
+		rt.times = rt.times[cut:]
+		rt.values = rt.values[cut:]
+	}
+}
+
+func (rt *refTracker) quantile(q float64) float64 {
+	if len(rt.values) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), rt.values...)
+	sort.Float64s(s)
+	return sim.QuantileSorted(s, q)
+}
+
+// TestTailTrackerMatchesReference is the differential-exactness test the
+// tentpole demands (and `make check` runs explicitly): randomized add/prune
+// sequences — bursts, gaps, duplicate values, occasional backwards
+// timestamps — with every quantile compared for exact float equality
+// against the copy-and-sort oracle.
+func TestTailTrackerMatchesReference(t *testing.T) {
+	quantiles := []float64{0, 0.25, 0.5, 0.9, 0.99, 1}
+	for _, window := range []time.Duration{50 * time.Millisecond, time.Second, 3 * time.Second} {
+		tt := NewTailTracker(window)
+		ref := &refTracker{window: window}
+		rng := sim.NewRNG(7).Fork("exactness-" + window.String())
+		now := sim.Time(0)
+		for step := 0; step < 20000; step++ {
+			// Irregular arrival: mostly dense, sometimes a gap that
+			// flushes most of the window, rarely a backwards stamp.
+			switch {
+			case rng.Float64() < 0.01:
+				now = now.Add(window * 2)
+			case rng.Float64() < 0.05:
+				now = now.Add(-time.Millisecond) // exercised clamp path
+			default:
+				now = now.Add(time.Duration(rng.Float64() * 3 * float64(time.Millisecond)))
+			}
+			// Coarse values force duplicates into the multiset.
+			v := float64(int(rng.Float64()*200)) / 100
+			tt.Add(now, v)
+			ref.add(now, v)
+			if tt.N() != len(ref.values) {
+				t.Fatalf("window %v step %d: N = %d, ref %d", window, step, tt.N(), len(ref.values))
+			}
+			q := quantiles[step%len(quantiles)]
+			if got, want := tt.Quantile(q), ref.quantile(q); got != want {
+				t.Fatalf("window %v step %d: quantile(%v) = %v, ref %v", window, step, q, got, want)
+			}
+			// Re-query immediately: the already-reconciled O(1) path must
+			// return the identical value.
+			if got, want := tt.Quantile(q), ref.quantile(q); got != want {
+				t.Fatalf("window %v step %d: reconciled quantile(%v) = %v, ref %v", window, step, q, got, want)
+			}
+		}
+	}
+}
+
+// TestTailTrackerBoundedCapacity is the regression test for the seed
+// tracker's prune leak: over a multi-hour run the ring and the index arena
+// must stay bounded by the window's high-water occupancy, not grow with the
+// total samples added.
+func TestTailTrackerBoundedCapacity(t *testing.T) {
+	const window = 3 * time.Second
+	tt := NewTailTracker(window)
+	// 100 samples/s for 3 simulated hours: ~1.08M samples through a
+	// window that holds at most ~300.
+	const perSecond = 100
+	step := time.Second / perSecond
+	now := sim.Time(0)
+	rng := sim.NewRNG(11).Fork("bounded-capacity")
+	for i := 0; i < 3*3600*perSecond; i++ {
+		now = now.Add(step)
+		tt.Add(now, rng.Float64())
+	}
+	maxLive := perSecond*int(window/time.Second) + 1
+	// Ring capacity: next power of two above occupancy, 64 floor, one
+	// doubling of headroom.
+	if tt.Cap() > 4*maxLive {
+		t.Fatalf("ring capacity %d after 1M adds; occupancy never exceeded %d", tt.Cap(), maxLive)
+	}
+	// Value-order side: snapshot, merge scratch, and the pending batches
+	// must all stay at window scale even though this loop never queries
+	// (the forced reconcile in Add is what bounds the batches).
+	for _, sl := range []struct {
+		name string
+		c    int
+	}{
+		{"sorted", cap(tt.sorted)},
+		{"scratch", cap(tt.scratch)},
+		{"added", cap(tt.added)},
+		{"removed", cap(tt.removed)},
+	} {
+		if sl.c > 4*maxLive {
+			t.Fatalf("%s capacity %d after 1M adds; occupancy never exceeded %d", sl.name, sl.c, maxLive)
+		}
+	}
+	if tt.N() > maxLive {
+		t.Fatalf("live samples %d exceed window occupancy %d", tt.N(), maxLive)
+	}
+}
+
+// TestTailTrackerOutOfOrderClamped pins the default (non-strict) contract:
+// a backwards timestamp is recorded at the latest time seen, so it cannot
+// resurrect or widen the window.
+func TestTailTrackerOutOfOrderClamped(t *testing.T) {
+	tt := NewTailTracker(time.Second)
+	tt.Add(sim.FromSeconds(5), 10)
+	tt.Add(sim.FromSeconds(4), 20) // backwards: clamped to t=5s
+	if tt.N() != 2 {
+		t.Fatalf("N = %d, want 2 (clamped sample retained)", tt.N())
+	}
+	// Advancing just past 5s+window must evict both: the second sample
+	// lives at the clamped time, not at its claimed 4s.
+	tt.Add(sim.FromSeconds(6.5), 30)
+	if tt.N() != 1 {
+		t.Fatalf("N = %d after window passed, want 1", tt.N())
+	}
+	if got := tt.P99(); got != 30 {
+		t.Fatalf("p99 = %v, want 30", got)
+	}
+}
+
+// TestTailTrackerOutOfOrderStrict pins the Strict contract: time running
+// backwards panics with a diagnostic instead of clamping.
+func TestTailTrackerOutOfOrderStrict(t *testing.T) {
+	defer func(old bool) { Strict = old }(Strict)
+	Strict = true
+	tt := NewTailTracker(time.Second)
+	tt.Add(sim.FromSeconds(5), 10)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("strict mode accepted a backwards timestamp")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "time ran backwards") {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+	}()
+	tt.Add(sim.FromSeconds(4), 20)
+}

@@ -1,0 +1,7 @@
+//go:build !rhythmstrict
+
+package metrics
+
+// strictDefault is the default for Strict in ordinary builds: clamp
+// backwards timestamps instead of panicking.
+const strictDefault = false

@@ -1,0 +1,7 @@
+//go:build rhythmstrict
+
+package metrics
+
+// strictDefault under -tags rhythmstrict: a backwards timestamp is a caller
+// bug and panics immediately instead of being clamped.
+const strictDefault = true

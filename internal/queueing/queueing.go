@@ -13,6 +13,7 @@ package queueing
 
 import (
 	"fmt"
+	"sort"
 
 	"rhythm/internal/sim"
 )
@@ -173,18 +174,37 @@ func (s Station) MaxRate() float64 {
 // closed form.
 //
 // PathP99 estimates the p99 of the sum of the given sojourns using n Monte
-// Carlo samples from r.
+// Carlo samples from r. It allocates a fresh sample buffer per call; tight
+// loops should hold a scratch buffer and use PathP99Into.
 func PathP99(stages []Sojourn, n int, r *sim.RNG) float64 {
+	p, _ := PathP99Into(nil, stages, n, r)
+	return p
+}
+
+// PathP99Into is PathP99 with a caller-owned scratch buffer: the n path
+// sums are written into buf (grown only when cap(buf) < n), sorted in
+// place, and the possibly-grown buffer is returned for the next call, so a
+// sweep that estimates many operating points allocates once.
+//
+// Ownership: the returned slice aliases buf's storage and is overwritten
+// by the next call; callers that need the samples must copy them. The
+// estimate is identical to PathP99's — same draws in the same RNG order,
+// same interpolated order statistic.
+func PathP99Into(buf []float64, stages []Sojourn, n int, r *sim.RNG) (float64, []float64) {
 	if len(stages) == 0 || n <= 0 {
-		return 0
+		return 0, buf
 	}
-	xs := make([]float64, n)
-	for i := 0; i < n; i++ {
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
 		t := 0.0
 		for _, s := range stages {
 			t += s.Sample(r)
 		}
-		xs[i] = t
+		buf[i] = t
 	}
-	return sim.Quantile(xs, 0.99)
+	sort.Float64s(buf)
+	return sim.QuantileSorted(buf, 0.99), buf
 }

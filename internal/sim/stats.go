@@ -38,13 +38,15 @@ func (w *Welford) Var() float64 {
 // Std returns the sample standard deviation.
 func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
 
-// CV returns the coefficient of variation (stddev / mean), 0 when the mean
-// is 0.
+// CV returns the coefficient of variation (stddev / |mean|), 0 when the
+// mean is 0. The magnitude of the mean is what normalizes dispersion: a
+// series centred at -10 is exactly as variable as its mirror at +10, so
+// the CV is non-negative for every input.
 func (w *Welford) CV() float64 {
 	if w.mean == 0 {
 		return 0
 	}
-	return w.Std() / w.mean
+	return w.Std() / math.Abs(w.mean)
 }
 
 // Merge folds another accumulator into w (Chan et al. parallel update).
@@ -138,7 +140,7 @@ func Pearson(xs, ys []float64) float64 {
 	return r
 }
 
-// CoV returns the coefficient of variation of xs (stddev/mean, unbiased
+// CoV returns the coefficient of variation of xs (stddev/|mean|, unbiased
 // variance), 0 for fewer than two samples or a zero mean.
 func CoV(xs []float64) float64 {
 	var w Welford

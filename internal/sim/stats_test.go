@@ -38,6 +38,38 @@ func TestWelfordEmptyAndSingle(t *testing.T) {
 	}
 }
 
+// TestWelfordCVNegativeMean pins the sign contract: the CV normalizes by
+// |mean|, so a mirrored series has the same, non-negative CV.
+func TestWelfordCVNegativeMean(t *testing.T) {
+	var pos, neg Welford
+	for _, x := range []float64{8, 10, 12} {
+		pos.Add(x)
+		neg.Add(-x)
+	}
+	if neg.CV() <= 0 {
+		t.Fatalf("negative-mean CV = %v, want positive", neg.CV())
+	}
+	if math.Abs(neg.CV()-pos.CV()) > 1e-15 {
+		t.Fatalf("CV not mirror-symmetric: %v vs %v", neg.CV(), pos.CV())
+	}
+	if got := CoV([]float64{-8, -10, -12}); math.Abs(got-pos.CV()) > 1e-15 {
+		t.Fatalf("CoV(negative series) = %v, want %v", got, pos.CV())
+	}
+}
+
+// TestWelfordCVZeroMean: a zero mean has no meaningful CV; the contract is 0.
+func TestWelfordCVZeroMean(t *testing.T) {
+	var w Welford
+	w.Add(-1)
+	w.Add(1)
+	if w.CV() != 0 {
+		t.Fatalf("zero-mean CV = %v, want 0", w.CV())
+	}
+	if CoV([]float64{-1, 1}) != 0 {
+		t.Fatal("CoV of zero-mean series should be 0")
+	}
+}
+
 func TestWelfordMergeEqualsSequential(t *testing.T) {
 	f := func(seed uint64) bool {
 		r := NewRNG(seed)
