@@ -56,6 +56,7 @@ var registry = []struct {
 	{"TailTrackerAddP99", benchmarks.TailTrackerAddP99},
 	{"EngineTick", benchmarks.EngineTick},
 	{"PathP99", benchmarks.PathP99},
+	{"ObsDisabled", benchmarks.ObsDisabled},
 }
 
 func main() {

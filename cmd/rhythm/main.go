@@ -1,11 +1,12 @@
 // Command rhythm is the CLI for the Rhythm reproduction: it lists and runs
-// the paper's evaluation experiments, profiles LC services, and prints the
-// workload catalog.
+// the paper's evaluation experiments, profiles LC services, replays
+// experiments with full decision traces, and prints the workload catalog.
 //
 // Usage:
 //
 //	rhythm list                     # registered experiments
 //	rhythm run <experiment> [...]   # regenerate tables/figures (or "all")
+//	rhythm trace <experiment>       # replay one experiment with decision traces
 //	rhythm profile <service>        # offline profiling of one LC service
 //	rhythm catalog                  # Table 1 workloads and BE jobs
 //
@@ -20,6 +21,14 @@
 //	              changes. Tables go to stdout; timing, speedup and
 //	              profile-cache statistics go to stderr, so redirected
 //	              output is stable across worker counts.
+//	-trace-out F  write the observability event stream to F (controller
+//	              decisions with load/slack/action/reason, engine ticks,
+//	              BE lifecycle, cache lookups, pool dispatches). Tracing
+//	              never changes stdout: tables stay byte-identical.
+//	-trace-format jsonl | chrome (default jsonl). chrome emits Chrome
+//	              trace_event JSON for chrome://tracing / ui.perfetto.dev.
+//	-metrics-out F  write a Prometheus text-format snapshot of the
+//	              counters/gauges/histograms accumulated during the run.
 //
 // Exit codes: 0 on success, 1 when an experiment or profile fails while
 // running, 2 for usage errors (unknown command or experiment id, missing
@@ -32,11 +41,13 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"rhythm/internal/bejobs"
 	"rhythm/internal/core"
 	"rhythm/internal/experiments"
+	"rhythm/internal/obs"
 	"rhythm/internal/profiler"
 	"rhythm/internal/sim"
 	"rhythm/internal/workload"
@@ -48,15 +59,26 @@ func main() {
 
 // realMain is main with injectable argv and streams so that flag/argument
 // validation — including exit codes — is table-testable. Usage errors
-// (bad flags, unknown commands or experiment ids) return 2 before any
-// experiment work starts; runtime failures return 1.
-func realMain(argv []string, stdout, stderr io.Writer) int {
+// (bad flags, unknown commands or experiment ids, invalid trace formats)
+// return 2 before any experiment work starts; runtime failures return 1.
+func realMain(argv []string, stdout, rawStderr io.Writer) int {
+	// All diagnostic output funnels through one mutex-guarded writer so
+	// lines from parallel workers and sinks never interleave mid-line
+	// (tables on stdout are unaffected).
+	stderr := obs.NewSyncWriter(rawStderr)
+
 	fs := flag.NewFlagSet("rhythm", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	quick := fs.Bool("quick", true, "reduced experiment scale")
 	seed := fs.Uint64("seed", 2020, "RNG seed")
 	jobs := fs.Int("jobs", runtime.NumCPU(),
 		"parallel worker count (>= 1; output is identical for any value)")
+	traceOut := fs.String("trace-out", "",
+		"write the observability event stream to this file")
+	traceFormat := fs.String("trace-format", "jsonl",
+		"trace file format: jsonl or chrome (trace_event JSON)")
+	metricsOut := fs.String("metrics-out", "",
+		"write a Prometheus text-format metrics snapshot to this file")
 	fs.Usage = func() { usage(fs, stderr) }
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -72,6 +94,38 @@ func realMain(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "rhythm: -jobs must be at least 1, got %d\n", *jobs)
 		return 2
 	}
+	if *traceFormat != "jsonl" && *traceFormat != "chrome" {
+		fmt.Fprintf(stderr, "rhythm: -trace-format must be jsonl or chrome, got %q\n", *traceFormat)
+		return 2
+	}
+
+	// The trace subcommand is `run` for a single experiment with the bus
+	// forced on: default the trace file from the experiment id when the
+	// flag was not given.
+	tracing := args[0] == "trace"
+	if tracing {
+		if len(args) != 2 {
+			fmt.Fprintln(stderr, "rhythm: trace needs exactly one experiment id")
+			return 2
+		}
+		if _, err := experiments.Get(args[1]); err != nil {
+			fmt.Fprintf(stderr, "rhythm: %v (run \"rhythm list\" for the registry)\n", err)
+			return 2
+		}
+		if *traceOut == "" {
+			ext := ".trace.jsonl"
+			if *traceFormat == "chrome" {
+				ext = ".trace.json"
+			}
+			*traceOut = args[1] + ext
+		}
+	}
+
+	bus, finish, code := setupObs(*traceOut, *traceFormat, *metricsOut, stderr)
+	if code != 0 {
+		return code
+	}
+	defer finish()
 
 	ctx := experiments.NewContext(experiments.Options{Quick: *quick, Seed: *seed, Jobs: *jobs})
 	var err error
@@ -84,6 +138,11 @@ func realMain(argv []string, stdout, stderr io.Writer) int {
 			return code
 		}
 		err = run(ctx, ids, stdout, stderr)
+	case "trace":
+		err = run(ctx, args[1:2], stdout, stderr)
+		if err == nil {
+			traceSummary(bus, *traceOut, *metricsOut, stderr)
+		}
 	case "profile":
 		err = profile(ctx, args[1:], stdout)
 	case "catalog":
@@ -98,6 +157,79 @@ func realMain(argv []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// setupObs installs the observability bus when any of the trace/metrics
+// flags ask for one. The returned finish closes sinks, writes the metrics
+// snapshot and uninstalls the bus; it is safe to call when no bus was
+// installed. A non-zero code reports a usage-level failure (unwritable
+// output file).
+func setupObs(traceOut, traceFormat, metricsOut string, stderr *obs.SyncWriter) (*obs.Bus, func(), int) {
+	if traceOut == "" && metricsOut == "" {
+		return nil, func() {}, 0
+	}
+	var sinks []obs.Sink
+	var traceFile *os.File
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fmt.Fprintln(stderr, "rhythm:", err)
+			return nil, nil, 2
+		}
+		traceFile = f
+		if traceFormat == "chrome" {
+			sinks = append(sinks, obs.NewChromeSink(f))
+		} else {
+			sinks = append(sinks, obs.NewJSONLSink(f))
+		}
+	}
+	bus := obs.NewBus(sinks...)
+	obs.Install(bus)
+	finish := func() {
+		obs.Uninstall()
+		if err := bus.Close(); err != nil {
+			fmt.Fprintln(stderr, "rhythm: closing trace sink:", err)
+		}
+		if traceFile != nil {
+			if err := traceFile.Close(); err != nil {
+				fmt.Fprintln(stderr, "rhythm: closing trace file:", err)
+			}
+		}
+		if metricsOut != "" {
+			f, err := os.Create(metricsOut)
+			if err != nil {
+				fmt.Fprintln(stderr, "rhythm:", err)
+				return
+			}
+			if err := bus.WriteMetrics(f); err != nil {
+				fmt.Fprintln(stderr, "rhythm: writing metrics:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(stderr, "rhythm: closing metrics file:", err)
+			}
+		}
+	}
+	return bus, finish, 0
+}
+
+// traceSummary prints what the trace captured: events by kind and the
+// decision mix, so a replay is interpretable without opening the file.
+func traceSummary(bus *obs.Bus, traceOut, metricsOut string, stderr *obs.SyncWriter) {
+	counts := bus.EventCounts()
+	kinds := make([]string, 0, len(counts))
+	total := uint64(0)
+	for k, n := range counts {
+		kinds = append(kinds, k)
+		total += n
+	}
+	sort.Strings(kinds)
+	fmt.Fprintf(stderr, "\ntrace: %d events -> %s\n", total, traceOut)
+	for _, k := range kinds {
+		fmt.Fprintf(stderr, "  %-10s %d\n", k, counts[k])
+	}
+	if metricsOut != "" {
+		fmt.Fprintf(stderr, "metrics snapshot -> %s\n", metricsOut)
+	}
 }
 
 // validateRunIDs rejects a run invocation with no ids or with unknown
@@ -126,6 +258,7 @@ func usage(fs *flag.FlagSet, stderr io.Writer) {
 usage:
   rhythm [flags] list
   rhythm [flags] run <experiment>... | all
+  rhythm [flags] trace <experiment>
   rhythm [flags] profile <service>
   rhythm [flags] catalog
 

@@ -27,6 +27,12 @@ func TestArgValidation(t *testing.T) {
 		{"run unknown id", []string{"run", "fig999"}, 2, "fig999"},
 		{"run unknown id hint", []string{"run", "no-such-figure"}, 2, "rhythm list"},
 		{"run mixed known and unknown", []string{"run", "fig2", "bogus"}, 2, "bogus"},
+		{"bad trace format", []string{"-trace-format", "xml", "list"}, 2,
+			"-trace-format must be jsonl or chrome"},
+		{"trace without id", []string{"trace"}, 2, "trace needs exactly one experiment id"},
+		{"trace two ids", []string{"trace", "fig2", "fig3"}, 2,
+			"trace needs exactly one experiment id"},
+		{"trace unknown id", []string{"trace", "fig999"}, 2, "fig999"},
 		{"list ok", []string{"list"}, 0, ""},
 		{"catalog ok", []string{"catalog"}, 0, ""},
 		{"profile missing arg", []string{"profile"}, 1, "profile needs exactly one service name"},

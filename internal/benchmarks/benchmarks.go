@@ -14,6 +14,9 @@
 //     accounting, SamplesPerTick end-to-end latency draws through the call
 //     graph, tail-tracker maintenance.
 //   - PathP99: the Monte Carlo path-tail estimator used by profiling.
+//   - ObsDisabled: every observability emit point with no bus installed —
+//     the nil-check path the engine hot loop pays on untraced runs, pinned
+//     at 0 allocs/op (TestObsDisabledZeroAllocs).
 package benchmarks
 
 import (
@@ -23,6 +26,7 @@ import (
 	"rhythm/internal/engine"
 	"rhythm/internal/loadgen"
 	"rhythm/internal/metrics"
+	"rhythm/internal/obs"
 	"rhythm/internal/queueing"
 	"rhythm/internal/sim"
 	"rhythm/internal/workload"
@@ -123,4 +127,35 @@ func PathP99(b *testing.B) {
 		sink, buf = queueing.PathP99Into(buf, stages, n, rng)
 	}
 	_ = sink
+}
+
+// ObsDisabled measures the full set of observability emit points with no
+// bus installed: the Active() load, a zero Scope's event emitters, and
+// nil counter/gauge/histogram updates — everything an instrumented hot
+// path executes per tick when tracing is off. The contract (pinned by
+// TestObsDisabledZeroAllocs and recorded by `make bench`) is 0 allocs/op:
+// an untraced run must not pay for the instrumentation's existence.
+func ObsDisabled(b *testing.B) {
+	obs.Uninstall()
+	sc := obs.Active().Scope("bench")
+	var (
+		c *obs.Counter
+		g *obs.Gauge
+		h *obs.Histogram
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if obs.Active() != nil {
+			b.Fatal("bus installed during disabled-path benchmark")
+		}
+		sc.Tick(int64(i), 100, 0.7, 700, 80)
+		sc.Decision(int64(i), "pod", "AllowBEGrowth", 0.7, 0.2, 0.01, "")
+		sc.BE(int64(i), "pod", "be-1", "grow", 2, 4)
+		sc.Cache("profile", "key", true)
+		sc.Pool(16, 8)
+		c.Inc()
+		g.Add(1)
+		h.Observe(0.5)
+	}
 }

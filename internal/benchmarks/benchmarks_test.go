@@ -1,6 +1,10 @@
 package benchmarks
 
-import "testing"
+import (
+	"testing"
+
+	"rhythm/internal/obs"
+)
 
 // The benchmark bodies live in the non-test package file so that
 // cmd/rhythm-bench can run them through testing.Benchmark; these wrappers
@@ -10,3 +14,30 @@ func BenchmarkTailTrackerAdd(b *testing.B)    { TailTrackerAdd(b) }
 func BenchmarkTailTrackerAddP99(b *testing.B) { TailTrackerAddP99(b) }
 func BenchmarkEngineTick(b *testing.B)        { EngineTick(b) }
 func BenchmarkPathP99(b *testing.B)           { PathP99(b) }
+func BenchmarkObsDisabled(b *testing.B)       { ObsDisabled(b) }
+
+// TestObsDisabledZeroAllocs pins the observability contract in the test
+// suite (not just the bench harness): with no bus installed, the full set
+// of emit points allocates nothing.
+func TestObsDisabledZeroAllocs(t *testing.T) {
+	obs.Uninstall()
+	sc := obs.Active().Scope("pin")
+	var (
+		c *obs.Counter
+		g *obs.Gauge
+		h *obs.Histogram
+	)
+	allocs := testing.AllocsPerRun(1000, func() {
+		sc.Tick(1, 100, 0.7, 700, 80)
+		sc.Decision(1, "pod", "AllowBEGrowth", 0.7, 0.2, 0.01, "")
+		sc.BE(1, "pod", "be-1", "grow", 2, 4)
+		sc.Cache("profile", "key", true)
+		sc.Pool(16, 8)
+		c.Inc()
+		g.Add(1)
+		h.Observe(0.5)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled obs path allocates %.1f per op, want 0", allocs)
+	}
+}

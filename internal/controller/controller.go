@@ -82,6 +82,34 @@ func decide(t Thresholds, load, slack float64) Action {
 	}
 }
 
+// Explainer is implemented by policies that can name the Algorithm 2
+// branch behind a decision. The engine consults it only when the
+// observability bus is enabled, so the string building never costs an
+// untraced run anything.
+type Explainer interface {
+	// Explain returns the same action Decide would and a human-readable
+	// reason naming the branch and the thresholds it compared against.
+	Explain(pod string, load, slack float64) (Action, string)
+}
+
+// explain is decide plus the branch taken, rendered against the pod's
+// thresholds. It must stay in lockstep with decide: both switch on the
+// identical conditions, which TestExplainMatchesDecide locks in.
+func explain(t Thresholds, load, slack float64) (Action, string) {
+	switch {
+	case slack < 0:
+		return StopBE, fmt.Sprintf("slack %.3f < 0: SLA violated", slack)
+	case load > t.Loadlimit:
+		return SuspendBE, fmt.Sprintf("load %.2f > loadlimit %.2f", load, t.Loadlimit)
+	case slack < t.Slacklimit/2:
+		return CutBE, fmt.Sprintf("slack %.3f < slacklimit/2 %.3f", slack, t.Slacklimit/2)
+	case slack < t.Slacklimit:
+		return DisallowBEGrowth, fmt.Sprintf("slack %.3f < slacklimit %.3f", slack, t.Slacklimit)
+	default:
+		return AllowBEGrowth, fmt.Sprintf("slack %.3f >= slacklimit %.3f", slack, t.Slacklimit)
+	}
+}
+
 // Rhythm is the component-distinguishable policy: per-Servpod thresholds
 // derived from contributions.
 type Rhythm struct {
@@ -137,6 +165,16 @@ func (r *Rhythm) conservative() Thresholds {
 // Name returns "Rhythm".
 func (r *Rhythm) Name() string { return "Rhythm" }
 
+// Explain returns Decide's action plus the Algorithm 2 branch it took
+// against the pod's thresholds.
+func (r *Rhythm) Explain(pod string, load, slack float64) (Action, string) {
+	t, ok := r.perPod[pod]
+	if !ok {
+		t = r.conservative()
+	}
+	return explain(t, load, slack)
+}
+
 // Thresholds returns the pod's configured thresholds and whether they
 // exist.
 func (r *Rhythm) Thresholds(pod string) (Thresholds, bool) {
@@ -175,6 +213,12 @@ func (h *Heracles) Decide(_ string, load, slack float64) Action {
 
 // Name returns "Heracles".
 func (h *Heracles) Name() string { return "Heracles" }
+
+// Explain returns Decide's action plus the Algorithm 2 branch it took
+// against the uniform thresholds.
+func (h *Heracles) Explain(_ string, load, slack float64) (Action, string) {
+	return explain(h.Uniform, load, slack)
+}
 
 // Disabled is a policy that never admits BE jobs: the solo-run baseline.
 type Disabled struct{}

@@ -184,3 +184,34 @@ func TestBoundaryConditions(t *testing.T) {
 		t.Fatalf("at zero slack = %v", got)
 	}
 }
+
+// TestExplainMatchesDecide sweeps a dense (load, slack) grid — including
+// the exact threshold boundaries — and asserts Explain returns the same
+// action as Decide for both policies, with a non-empty reason. This is
+// the lockstep pin the explain doc comment promises: the decision trace
+// must never report a branch the controller did not take.
+func TestExplainMatchesDecide(t *testing.T) {
+	r := rhythmForTest(t)
+	h := NewHeracles()
+	loads := []float64{0, 0.3, 0.5, 0.76, 0.761, 0.85, 0.851, 0.9, 1.2}
+	slacks := []float64{-0.5, -0.001, 0, 0.01, 0.05, 0.0785, 0.157, 0.3, 0.347, 0.5, 1}
+	pods := []string{"Haproxy", "Tomcat", "Amoeba", "MySQL", "not-a-pod"}
+	for _, pod := range pods {
+		for _, load := range loads {
+			for _, slack := range slacks {
+				if got, reason := r.Explain(pod, load, slack); got != r.Decide(pod, load, slack) {
+					t.Fatalf("Rhythm(%s, %v, %v): Explain %v != Decide %v",
+						pod, load, slack, got, r.Decide(pod, load, slack))
+				} else if reason == "" {
+					t.Fatalf("Rhythm(%s, %v, %v): empty reason", pod, load, slack)
+				}
+				if got, reason := h.Explain(pod, load, slack); got != h.Decide(pod, load, slack) {
+					t.Fatalf("Heracles(%s, %v, %v): Explain %v != Decide %v",
+						pod, load, slack, got, h.Decide(pod, load, slack))
+				} else if reason == "" {
+					t.Fatalf("Heracles(%s, %v, %v): empty reason", pod, load, slack)
+				}
+			}
+		}
+	}
+}

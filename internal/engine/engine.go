@@ -22,6 +22,7 @@ import (
 	"rhythm/internal/isolation"
 	"rhythm/internal/loadgen"
 	"rhythm/internal/metrics"
+	"rhythm/internal/obs"
 	"rhythm/internal/queueing"
 	"rhythm/internal/sim"
 	"rhythm/internal/workload"
@@ -79,6 +80,10 @@ type Config struct {
 	// Timeline retains per-control-tick series and the action log
 	// (Fig. 17).
 	Timeline bool
+	// Label names this run's scope on the observability bus (internal/obs)
+	// when one is installed; empty derives "service|policy|seed=N". It has
+	// no effect on the simulation.
+	Label string
 }
 
 func (c *Config) fillDefaults() error {
@@ -279,6 +284,19 @@ type Engine struct {
 	meanP99Accum float64
 	meanP99N     int
 	lastObserve  sim.Time
+
+	// Observability (internal/obs). All fields are zero/nil when no bus
+	// was installed at New time, and every use below is a nil check, so an
+	// untraced run pays nothing (BenchmarkObsDisabled pins 0 allocs). The
+	// bus reads only sim.Time and never touches the engine's RNG streams,
+	// so traced and untraced runs are byte-identical on stdout.
+	obsScope     obs.Scope
+	obsTicks     *obs.Counter
+	obsRuns      *obs.Counter
+	obsDecisions [5]*obs.Counter
+	obsBE        map[string]*obs.Counter
+	obsSlackH    *obs.Histogram
+	obsP99H      *obs.Histogram
 }
 
 // New builds an engine: one machine per Servpod, LC pinned per the
@@ -300,6 +318,24 @@ func New(cfg Config) (*Engine, error) {
 		e.stats.Policy = cfg.Policy.Name()
 	} else {
 		e.stats.Policy = "solo"
+	}
+	if bus := obs.Active(); bus != nil {
+		label := cfg.Label
+		if label == "" {
+			label = fmt.Sprintf("%s|%s|seed=%d", cfg.Service.Name, e.stats.Policy, cfg.Seed)
+		}
+		e.obsScope = bus.Scope(label)
+		e.obsTicks = bus.Counter("rhythm_engine_ticks_total")
+		e.obsRuns = bus.Counter("rhythm_engine_runs_total")
+		for a := controller.StopBE; a <= controller.AllowBEGrowth; a++ {
+			e.obsDecisions[a] = bus.Counter("rhythm_decisions_total", "action", a.String())
+		}
+		e.obsBE = make(map[string]*obs.Counter, len(beOps))
+		for _, op := range beOps {
+			e.obsBE[op] = bus.Counter("rhythm_be_events_total", "op", op)
+		}
+		e.obsSlackH = bus.Histogram("rhythm_decision_slack", obs.DefBuckets)
+		e.obsP99H = bus.Histogram("rhythm_window_p99_seconds", obs.LatencyBuckets)
 	}
 	for i, comp := range cfg.Service.Components {
 		m := cluster.NewMachine(fmt.Sprintf("m%d", i), cfg.Spec)
@@ -337,6 +373,23 @@ func New(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
+// beOps are the BE lifecycle transitions the engine reports on the bus.
+var beOps = []string{"launch", "kill", "suspend", "resume", "grow", "cut"}
+
+// beEvent records one BE lifecycle transition on the bus, with the
+// instance's allocation after the transition. Free when no bus is active.
+func (e *Engine) beEvent(now sim.Time, p *podRuntime, id, op string) {
+	if !e.obsScope.Enabled() {
+		return
+	}
+	var cores, ways int
+	if al := p.machine.Alloc(cluster.Owner{Kind: cluster.OwnerBE, Name: id}); al != nil {
+		cores, ways = al.Cores, al.LLCWays
+	}
+	e.obsScope.BE(int64(now), p.comp.Name, id, op, cores, ways)
+	e.obsBE[op].Inc()
+}
+
 // beDemand aggregates the running BE instances' pressure on the machine.
 func (p *podRuntime) beDemand() cluster.Vector {
 	var v cluster.Vector
@@ -369,6 +422,11 @@ func (e *Engine) Run(duration time.Duration) (*RunStats, error) {
 	e.stats.Duration = duration
 	end := sim.Time(0).Add(duration)
 
+	if e.obsScope.Enabled() {
+		e.obsRuns.Inc()
+		e.obsScope.RunPhase(0, "start", fmt.Sprintf("service=%s policy=%s sla=%gs duration=%v seed=%d",
+			e.cfg.Service.Name, e.stats.Policy, e.cfg.SLA, duration, e.cfg.Seed))
+	}
 	nextControl := sim.Time(0).Add(e.cfg.ControlPeriod)
 	for now := sim.Time(0); now < end; now = now.Add(e.cfg.TickDt) {
 		clock.RunUntil(now)
@@ -378,6 +436,10 @@ func (e *Engine) Run(duration time.Duration) (*RunStats, error) {
 			e.controlTick(now, load)
 			nextControl = nextControl.Add(e.cfg.ControlPeriod)
 		}
+	}
+	if e.obsScope.Enabled() {
+		e.obsScope.RunPhase(int64(end), "end", fmt.Sprintf("worst_p99=%gs violations=%d",
+			e.stats.WorstP99, e.stats.Violations))
 	}
 	return e.stats, nil
 }
@@ -483,6 +545,11 @@ func (e *Engine) tick(now sim.Time, load float64) {
 		worst, _ := e.tail.Worst()
 		e.stats.WorstP99 = worst
 	}
+
+	e.obsTicks.Inc()
+	if e.obsScope.Enabled() {
+		e.obsScope.Tick(int64(now), int64(dt), load, qps, e.cfg.SamplesPerTick)
+	}
 }
 
 // smooth applies the first-order inertia of Config.InertiaTau to the
@@ -535,6 +602,8 @@ func (e *Engine) controlTick(now sim.Time, load float64) {
 		e.stats.MeanP99 = e.meanP99Accum / float64(e.meanP99N)
 	}
 
+	e.obsSlackH.Observe(slack)
+	e.obsP99H.Observe(p99)
 	for _, p := range e.pods {
 		var act controller.Action
 		if e.cfg.Policy == nil || len(e.cfg.BETypes) == 0 {
@@ -542,7 +611,19 @@ func (e *Engine) controlTick(now sim.Time, load float64) {
 		} else {
 			act = e.cfg.Policy.Decide(p.comp.Name, load, slack)
 		}
-		e.apply(p, act, load, slack)
+		if e.obsScope.Enabled() {
+			reason := "no BE policy"
+			if e.cfg.Policy != nil && len(e.cfg.BETypes) > 0 {
+				if ex, ok := e.cfg.Policy.(controller.Explainer); ok {
+					_, reason = ex.Explain(p.comp.Name, load, slack)
+				} else {
+					reason = ""
+				}
+			}
+			e.obsScope.Decision(int64(now), p.comp.Name, act.String(), load, slack, p99, reason)
+		}
+		e.obsDecisions[act].Inc()
+		e.apply(p, act, now, load, slack)
 		if e.cfg.Timeline {
 			e.stats.Actions = append(e.stats.Actions, ActionEvent{At: now, Pod: p.comp.Name, Action: act})
 			e.record(now, p, load, slack)
@@ -551,7 +632,7 @@ func (e *Engine) controlTick(now sim.Time, load float64) {
 }
 
 // apply executes a top-controller action through the subcontrollers.
-func (e *Engine) apply(p *podRuntime, act controller.Action, load, slack float64) {
+func (e *Engine) apply(p *podRuntime, act controller.Action, now sim.Time, load, slack float64) {
 	switch act {
 	case controller.StopBE:
 		for _, in := range p.instances {
@@ -560,6 +641,7 @@ func (e *Engine) apply(p *podRuntime, act controller.Action, load, slack float64
 				p.stats.Kills++
 			}
 			p.agent.KillBE(in.ID)
+			e.beEvent(now, p, in.ID, "kill")
 		}
 		p.instances = p.instances[:0]
 		p.suspended = false
@@ -572,13 +654,14 @@ func (e *Engine) apply(p *podRuntime, act controller.Action, load, slack float64
 		for _, in := range p.instances {
 			if in.State == bejobs.Running {
 				in.State = bejobs.Suspended
+				e.beEvent(now, p, in.ID, "suspend")
 			}
 			p.agent.ParkBE(in.ID)
 		}
 		p.suspended = true
 
 	case controller.CutBE:
-		e.resume(p)
+		e.resume(p, now)
 		// The paper leaves CutBE's magnitude open ("reduces part of
 		// their allocated resources"); cut harder the deeper the slack
 		// has fallen into the band, so a fast-rising load sheds BE
@@ -589,13 +672,14 @@ func (e *Engine) apply(p *podRuntime, act controller.Action, load, slack float64
 				p.agent.CutBE(in.ID)
 			}
 			p.agent.AdjustBEMemory(in.ID, false)
+			e.beEvent(now, p, in.ID, "cut")
 		}
 
 	case controller.DisallowBEGrowth:
-		e.resume(p)
+		e.resume(p, now)
 
 	case controller.AllowBEGrowth:
-		e.resume(p)
+		e.resume(p, now)
 		// Memory subcontroller: every job gains a memory step (memory
 		// capacity is partitioned and interference-free). The CPU/LLC
 		// subcontroller works at one-core/10%-LLC granularity (§3.5.2):
@@ -607,10 +691,12 @@ func (e *Engine) apply(p *podRuntime, act controller.Action, load, slack float64
 		if len(p.instances) > 0 {
 			p.growSeq++
 			in := p.instances[p.growSeq%len(p.instances)]
-			p.agent.GrowBE(in.ID)
+			if p.agent.GrowBE(in.ID) {
+				e.beEvent(now, p, in.ID, "grow")
+			}
 		}
 		if len(p.instances) < e.cfg.MaxBEPerMachine {
-			e.launch(p)
+			e.launch(p, now)
 		}
 	}
 
@@ -630,7 +716,7 @@ func (e *Engine) apply(p *podRuntime, act controller.Action, load, slack float64
 
 // resume restarts suspended instances from the minimal slice; instances
 // that cannot get a core yet stay suspended and retry next period.
-func (e *Engine) resume(p *podRuntime) {
+func (e *Engine) resume(p *podRuntime, now sim.Time) {
 	if !p.suspended {
 		return
 	}
@@ -641,6 +727,7 @@ func (e *Engine) resume(p *podRuntime) {
 		}
 		if p.agent.UnparkBE(in.ID) {
 			in.State = bejobs.Running
+			e.beEvent(now, p, in.ID, "resume")
 		} else {
 			allUp = false
 		}
@@ -649,7 +736,7 @@ func (e *Engine) resume(p *podRuntime) {
 }
 
 // launch admits one new BE instance with the §3.5.2 starting slice.
-func (e *Engine) launch(p *podRuntime) {
+func (e *Engine) launch(p *podRuntime, now sim.Time) {
 	ty := e.cfg.BETypes[p.beSeq%len(e.cfg.BETypes)]
 	id := fmt.Sprintf("%s-%s-%d", p.comp.Name, ty, p.beSeq)
 	if err := p.agent.LaunchBE(id); err != nil {
@@ -662,6 +749,7 @@ func (e *Engine) launch(p *podRuntime) {
 	}
 	p.beSeq++
 	p.instances = append(p.instances, in)
+	e.beEvent(now, p, id, "launch")
 }
 
 // record appends the Fig. 17 series for one pod.

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"rhythm/internal/core"
+	"rhythm/internal/obs"
 	"rhythm/internal/profiler"
 	"rhythm/internal/sim"
 	"rhythm/internal/workload"
@@ -90,7 +91,8 @@ type Options struct {
 	// Seed drives all randomness (default 2020, the paper's year).
 	Seed uint64
 	// Quick trades precision for speed: coarser sweeps and shorter runs.
-	// Benches and tests use Quick; the CLI defaults to the full scale.
+	// Benches, tests and the CLI default to Quick; `rhythm -quick=false`
+	// selects the full evaluation scale.
 	Quick bool
 	// Jobs bounds the worker goroutines used by RunAll and by the
 	// parallel sweeps inside deployments, grid prefetches and threshold
@@ -252,13 +254,23 @@ func Get(id string) (Experiment, error) {
 	return e, nil
 }
 
-// Run executes the named experiment under the context.
+// Run executes the named experiment under the context. When an
+// observability bus is installed the run is bracketed with experiment
+// start/end events, so a trace groups every engine run under the
+// experiment that caused it.
 func (c *Context) Run(id string) (*Table, error) {
 	e, err := Get(id)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(c)
+	var sc obs.Scope
+	if bus := obs.Active(); bus != nil {
+		sc = bus.Scope("experiment:" + id)
+		sc.Experiment(id, "start")
+	}
+	tab, err := e.Run(c)
+	sc.Experiment(id, "end")
+	return tab, err
 }
 
 // f2 formats a float with 2 decimals; f3 with 3; pct as a percentage.

@@ -1,0 +1,445 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Sink consumes events published on a Bus. Emit is always called under the
+// bus mutex, so implementations need no locking of their own and their
+// output stays line-atomic under parallel runs. The *Event is only valid
+// for the duration of the call.
+type Sink interface {
+	Emit(ev *Event)
+	// Close flushes buffered output. The bus calls it from Bus.Close.
+	Close() error
+}
+
+// ---------------------------------------------------------------------------
+// JSONL sink
+
+// JSONLSink writes one JSON object per event, in publication order. Fields
+// are emitted per kind (decisions carry action/load/slack/p99/reason, ticks
+// carry load/qps/samples/dur, and so on); "at" is virtual seconds since the
+// simulation start and is omitted for events outside any simulation clock.
+type JSONLSink struct {
+	w   *bufio.Writer
+	buf []byte
+}
+
+// NewJSONLSink returns a sink writing JSON lines to w. The caller owns any
+// underlying file; Close flushes but does not close it.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriterSize(w, 64<<10)}
+}
+
+// Emit serializes one event as a JSON line.
+func (s *JSONLSink) Emit(ev *Event) {
+	b := s.buf[:0]
+	b = append(b, `{"seq":`...)
+	b = strconv.AppendUint(b, ev.Seq, 10)
+	b = append(b, `,"kind":"`...)
+	b = append(b, ev.Kind.String()...)
+	b = append(b, '"')
+	if ev.At != NoTime {
+		b = append(b, `,"at":`...)
+		b = appendFloat(b, float64(ev.At)/1e9)
+	}
+	b = appendStr(b, "scope", ev.Scope)
+	switch ev.Kind {
+	case KindDecision:
+		b = appendStr(b, "pod", ev.Pod)
+		b = appendStr(b, "action", ev.Op)
+		b = append(b, `,"load":`...)
+		b = appendFloat(b, ev.Load)
+		b = append(b, `,"slack":`...)
+		b = appendFloat(b, ev.Slack)
+		b = append(b, `,"p99":`...)
+		b = appendFloat(b, ev.P99)
+		b = appendStr(b, "reason", ev.Reason)
+	case KindTick:
+		b = append(b, `,"dur":`...)
+		b = appendFloat(b, float64(ev.Dur)/1e9)
+		b = append(b, `,"load":`...)
+		b = appendFloat(b, ev.Load)
+		b = append(b, `,"qps":`...)
+		b = appendFloat(b, ev.QPS)
+		b = append(b, `,"samples":`...)
+		b = strconv.AppendInt(b, int64(ev.N), 10)
+	case KindBE:
+		b = appendStr(b, "pod", ev.Pod)
+		b = appendStr(b, "id", ev.ID)
+		b = appendStr(b, "op", ev.Op)
+		b = append(b, `,"cores":`...)
+		b = strconv.AppendInt(b, int64(ev.N), 10)
+		b = append(b, `,"ways":`...)
+		b = strconv.AppendInt(b, int64(ev.M), 10)
+	case KindCache:
+		b = appendStr(b, "cache", ev.Pod)
+		b = appendStr(b, "result", ev.Op)
+		b = appendStr(b, "key", ev.ID)
+	case KindPool:
+		b = append(b, `,"items":`...)
+		b = strconv.AppendInt(b, int64(ev.N), 10)
+		b = append(b, `,"workers":`...)
+		b = strconv.AppendInt(b, int64(ev.M), 10)
+	case KindRun:
+		b = appendStr(b, "phase", ev.Op)
+		b = appendStr(b, "config", ev.Reason)
+	case KindExperiment:
+		b = appendStr(b, "id", ev.ID)
+		b = appendStr(b, "phase", ev.Op)
+	}
+	b = append(b, '}', '\n')
+	s.buf = b
+	s.w.Write(b)
+}
+
+// Close flushes buffered lines.
+func (s *JSONLSink) Close() error { return s.w.Flush() }
+
+// appendStr appends ,"key":"value" with JSON escaping, skipping empty
+// values so lines stay compact.
+func appendStr(b []byte, key, val string) []byte {
+	if val == "" {
+		return b
+	}
+	b = append(b, ',', '"')
+	b = append(b, key...)
+	b = append(b, '"', ':')
+	return appendQuoted(b, val)
+}
+
+// appendQuoted appends a JSON string literal. Scope labels, cache keys and
+// reasons are plain ASCII by construction; quotes, backslashes and control
+// bytes are escaped for safety.
+func appendQuoted(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c < 0x20:
+			b = append(b, fmt.Sprintf(`\u%04x`, c)...)
+		default:
+			b = append(b, c)
+		}
+	}
+	return append(b, '"')
+}
+
+// appendFloat appends v in Go's shortest-roundtrip decimal form — the same
+// deterministic rendering for a given bit pattern on every platform.
+func appendFloat(b []byte, v float64) []byte {
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace_event sink
+
+// ChromeSink writes the Chrome trace_event JSON format for chrome://tracing
+// (or Perfetto): each scope becomes a process, each Servpod a thread; ticks
+// are duration events, decisions and BE transitions instant events. Load it
+// via chrome://tracing "Load" or ui.perfetto.dev.
+type ChromeSink struct {
+	w     *bufio.Writer
+	buf   []byte
+	first bool
+	pids  map[string]int
+	tids  map[string]int
+}
+
+// NewChromeSink returns a sink writing one trace_event JSON document to w.
+// The caller owns any underlying file; Close writes the closing bracket
+// and flushes but does not close it.
+func NewChromeSink(w io.Writer) *ChromeSink {
+	s := &ChromeSink{
+		w:     bufio.NewWriterSize(w, 64<<10),
+		first: true,
+		pids:  make(map[string]int),
+		tids:  make(map[string]int),
+	}
+	s.w.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	return s
+}
+
+// pid interns the scope as a process id, emitting the process_name
+// metadata event on first sight.
+func (s *ChromeSink) pid(scope string) int {
+	p, ok := s.pids[scope]
+	if !ok {
+		p = len(s.pids) + 1
+		s.pids[scope] = p
+		s.meta("process_name", p, 0, scope)
+	}
+	return p
+}
+
+// tid interns the pod as a thread id within scope (0 = the scope's main
+// track), emitting thread_name metadata on first sight.
+func (s *ChromeSink) tid(scope string, pid int, pod string) int {
+	if pod == "" {
+		return 0
+	}
+	key := scope + "\x00" + pod
+	t, ok := s.tids[key]
+	if !ok {
+		t = len(s.tids) + 1
+		s.tids[key] = t
+		s.meta("thread_name", pid, t, pod)
+	}
+	return t
+}
+
+func (s *ChromeSink) meta(name string, pid, tid int, value string) {
+	b := s.buf[:0]
+	b = s.sep(b)
+	b = append(b, `{"name":"`...)
+	b = append(b, name...)
+	b = append(b, `","ph":"M","pid":`...)
+	b = strconv.AppendInt(b, int64(pid), 10)
+	b = append(b, `,"tid":`...)
+	b = strconv.AppendInt(b, int64(tid), 10)
+	b = append(b, `,"args":{"name":`...)
+	b = appendQuoted(b, value)
+	b = append(b, '}', '}')
+	s.buf = b
+	s.w.Write(b)
+}
+
+func (s *ChromeSink) sep(b []byte) []byte {
+	if s.first {
+		s.first = false
+		return b
+	}
+	return append(b, ',')
+}
+
+// Emit serializes one event. Events without a simulation timestamp render
+// at ts 0 on their scope's main track.
+func (s *ChromeSink) Emit(ev *Event) {
+	pid := s.pid(ev.Scope)
+	tid := s.tid(ev.Scope, pid, ev.Pod)
+	ts := 0.0
+	if ev.At != NoTime {
+		ts = float64(ev.At) / 1e3 // ns -> µs
+	}
+
+	name, cat, ph := "", "", "i"
+	switch ev.Kind {
+	case KindTick:
+		name, cat, ph = "tick", "engine", "X"
+	case KindDecision:
+		name, cat = ev.Op, "decision"
+	case KindBE:
+		name, cat = "be:"+ev.Op, "be"
+	case KindCache:
+		name, cat = "cache:"+ev.Op, "cache"
+	case KindPool:
+		name, cat = "pool", "pool"
+	case KindRun:
+		name, cat = "run:"+ev.Op, "run"
+	case KindExperiment:
+		name, cat = "experiment:"+ev.Op, "experiment"
+	default:
+		name, cat = ev.Kind.String(), "misc"
+	}
+
+	b := s.buf[:0]
+	b = s.sep(b)
+	b = append(b, `{"name":`...)
+	b = appendQuoted(b, name)
+	b = append(b, `,"cat":"`...)
+	b = append(b, cat...)
+	b = append(b, `","ph":"`...)
+	b = append(b, ph...)
+	b = append(b, `","ts":`...)
+	b = appendFloat(b, ts)
+	if ph == "X" {
+		b = append(b, `,"dur":`...)
+		b = appendFloat(b, float64(ev.Dur)/1e3)
+	} else if ph == "i" {
+		b = append(b, `,"s":"t"`...)
+	}
+	b = append(b, `,"pid":`...)
+	b = strconv.AppendInt(b, int64(pid), 10)
+	b = append(b, `,"tid":`...)
+	b = strconv.AppendInt(b, int64(tid), 10)
+	b = append(b, `,"args":{`...)
+	switch ev.Kind {
+	case KindDecision:
+		b = append(b, `"load":`...)
+		b = appendFloat(b, ev.Load)
+		b = append(b, `,"slack":`...)
+		b = appendFloat(b, ev.Slack)
+		b = append(b, `,"p99":`...)
+		b = appendFloat(b, ev.P99)
+		if ev.Reason != "" {
+			b = append(b, `,"reason":`...)
+			b = appendQuoted(b, ev.Reason)
+		}
+	case KindTick:
+		b = append(b, `"load":`...)
+		b = appendFloat(b, ev.Load)
+		b = append(b, `,"qps":`...)
+		b = appendFloat(b, ev.QPS)
+		b = append(b, `,"samples":`...)
+		b = strconv.AppendInt(b, int64(ev.N), 10)
+	case KindBE:
+		b = append(b, `"id":`...)
+		b = appendQuoted(b, ev.ID)
+		b = append(b, `,"cores":`...)
+		b = strconv.AppendInt(b, int64(ev.N), 10)
+		b = append(b, `,"ways":`...)
+		b = strconv.AppendInt(b, int64(ev.M), 10)
+	case KindCache:
+		b = append(b, `"key":`...)
+		b = appendQuoted(b, ev.ID)
+	case KindPool:
+		b = append(b, `"items":`...)
+		b = strconv.AppendInt(b, int64(ev.N), 10)
+		b = append(b, `,"workers":`...)
+		b = strconv.AppendInt(b, int64(ev.M), 10)
+	case KindRun:
+		if ev.Reason != "" {
+			b = append(b, `"config":`...)
+			b = appendQuoted(b, ev.Reason)
+		}
+	case KindExperiment:
+		b = append(b, `"id":`...)
+		b = appendQuoted(b, ev.ID)
+	}
+	b = append(b, '}', '}')
+	s.buf = b
+	s.w.Write(b)
+}
+
+// Close writes the closing bracket and flushes.
+func (s *ChromeSink) Close() error {
+	s.w.WriteString("]}\n")
+	return s.w.Flush()
+}
+
+// ---------------------------------------------------------------------------
+// Memory sink (tests)
+
+// MemorySink retains every event in memory; tests assert against Events.
+type MemorySink struct {
+	mu  sync.Mutex
+	evs []Event
+}
+
+// Emit appends a copy of the event.
+func (s *MemorySink) Emit(ev *Event) {
+	s.mu.Lock()
+	s.evs = append(s.evs, *ev)
+	s.mu.Unlock()
+}
+
+// Close is a no-op.
+func (s *MemorySink) Close() error { return nil }
+
+// Events returns a copy of the captured events in publication order.
+func (s *MemorySink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.evs...)
+}
+
+// Reset discards captured events.
+func (s *MemorySink) Reset() {
+	s.mu.Lock()
+	s.evs = nil
+	s.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text-format snapshot
+
+// WriteMetrics writes every instrument registered on the bus in Prometheus
+// text exposition format. Families are sorted by name and series within a
+// family by key, so successive snapshots diff cleanly; histogram buckets
+// render cumulatively in bound order (the le ordering the exposition
+// format requires) ending at +Inf, followed by _sum and _count.
+func (b *Bus) WriteMetrics(w io.Writer) error {
+	if b == nil {
+		return nil
+	}
+	type family struct {
+		typ    string
+		lines  []string
+		sorted bool // counter/gauge series sort by key; histograms keep bound order
+	}
+	fams := make(map[string]*family)
+	get := func(name, typ string, sorted bool) *family {
+		f, ok := fams[name]
+		if !ok {
+			f = &family{typ: typ, sorted: sorted}
+			fams[name] = f
+		}
+		return f
+	}
+
+	b.imu.Lock()
+	for key, c := range b.counters {
+		f := get(familyOf(key), "counter", true)
+		f.lines = append(f.lines, fmt.Sprintf("%s %d", key, c.Value()))
+	}
+	for key, g := range b.gauges {
+		f := get(familyOf(key), "gauge", true)
+		f.lines = append(f.lines, fmt.Sprintf("%s %s", key, formatFloat(g.Value())))
+	}
+	for name, h := range b.histograms {
+		f := get(name, "histogram", false)
+		cum := uint64(0)
+		for i, bound := range h.bounds {
+			cum += h.counts[i].Load()
+			f.lines = append(f.lines,
+				fmt.Sprintf("%s_bucket{le=%q} %d", name, formatFloat(bound), cum))
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		f.lines = append(f.lines, fmt.Sprintf(`%s_bucket{le="+Inf"} %d`, name, cum))
+		sum := math.Float64frombits(h.sumBits.Load())
+		f.lines = append(f.lines, fmt.Sprintf("%s_sum %s", name, formatFloat(sum)))
+		f.lines = append(f.lines, fmt.Sprintf("%s_count %d", name, h.count.Load()))
+	}
+	b.imu.Unlock()
+
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := fams[name]
+		if f.sorted {
+			sort.Strings(f.lines)
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, f.typ); err != nil {
+			return err
+		}
+		for _, line := range f.lines {
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// familyOf strips the label set from a series key.
+func familyOf(key string) string {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"rhythm/internal/bejobs"
+	"rhythm/internal/obs"
 	"rhythm/internal/workload"
 )
 
@@ -117,8 +118,26 @@ func CachedRun(svc *workload.Service, opts Options) (*Profile, error) {
 		profileCache.misses++
 	}
 	profileCache.mu.Unlock()
+	cacheEvent("profile", key, ok)
 	e.once.Do(func() { e.prof, e.err = Run(svc, opts) })
 	return e.prof, e.err
+}
+
+// cacheEvent reports one lookup on the observability bus (free when no bus
+// is installed). A "hit" is any arrival at an existing key, including those
+// that block on the in-flight first computation — the same accounting
+// CacheStats uses.
+func cacheEvent(cache, key string, hit bool) {
+	bus := obs.Active()
+	if bus == nil {
+		return
+	}
+	bus.Scope("profile-cache").Cache(cache, key, hit)
+	result := "miss"
+	if hit {
+		result = "hit"
+	}
+	bus.Counter("rhythm_profile_cache_total", "cache", cache, "result", result).Inc()
 }
 
 // CachedSlacklimits is FindSlacklimits behind the cache. profileKey must
@@ -138,6 +157,7 @@ func CachedSlacklimits(profileKey string, prof *Profile, opts SlackOptions) (map
 		slackCache.misses++
 	}
 	slackCache.mu.Unlock()
+	cacheEvent("slacklimit", key, ok)
 	e.once.Do(func() { e.sl, e.err = FindSlacklimits(prof, opts) })
 	if e.err != nil {
 		return nil, e.err

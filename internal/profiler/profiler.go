@@ -117,6 +117,7 @@ func DeriveSLA(svc *workload.Service, seed uint64, duration time.Duration) (floa
 		Service: svc,
 		Pattern: loadgen.Constant(1.0),
 		Seed:    seed,
+		Label:   "sla:" + svc.Name,
 	})
 	if err != nil {
 		return 0, err
@@ -179,6 +180,7 @@ func Run(svc *workload.Service, opts Options) (*Profile, error) {
 			Pattern:        loadgen.Constant(level),
 			Seed:           opts.Seed + uint64(li)*7919,
 			CollectSamples: true,
+			Label:          fmt.Sprintf("profile:%s|level=%g", svc.Name, level),
 		})
 		if err != nil {
 			return err
@@ -525,6 +527,7 @@ func trialRun(prof *Profile, slacklimits map[string]float64, opts SlackOptions, 
 		BETypes: bes,
 		Seed:    opts.Seed + iter*104729,
 		Warmup:  opts.StepDuration / 3,
+		Label:   fmt.Sprintf("slack-trial:%s|iter=%d", prof.Service.Name, iter),
 	})
 	if err != nil {
 		return false, err

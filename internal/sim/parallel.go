@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"rhythm/internal/obs"
 )
 
 // This file holds the worker-pool primitives every parallel sweep in the
@@ -48,10 +50,23 @@ func ForEach(n, jobs int, fn func(i int)) {
 	if jobs > n {
 		jobs = n
 	}
+	// Observability: one dispatch event per fan-out plus a live-worker
+	// gauge. The nil-safe instruments make this free when no bus is
+	// installed, and the bus never touches any RNG stream, so tracing
+	// cannot perturb the sweep (DESIGN.md §8).
+	var occupancy *obs.Gauge
+	if bus := obs.Active(); bus != nil {
+		bus.Scope("pool").Pool(n, jobs)
+		bus.Counter("rhythm_pool_dispatch_total").Inc()
+		occupancy = bus.Gauge("rhythm_pool_active_workers")
+	}
+
 	if jobs <= 1 {
+		occupancy.Add(1)
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
+		occupancy.Add(-1)
 		return
 	}
 
@@ -65,6 +80,8 @@ func ForEach(n, jobs int, fn func(i int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			occupancy.Add(1)
+			defer occupancy.Add(-1)
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= n {
