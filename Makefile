@@ -14,7 +14,7 @@ GO ?= go
 # CI always has network and runs it for real.
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: check fmt vet build test exact race staticcheck bench bench-tables
+.PHONY: check fmt vet build test exact race staticcheck bench bench-tables bench-compare golden golden-update
 
 check: fmt vet build exact race staticcheck
 
@@ -60,3 +60,27 @@ bench:
 # harness (the pre-PR-2 `make bench`).
 bench-tables:
 	$(GO) test -bench=. -benchmem
+
+# bench-compare diffs a fresh benchmark run against the committed
+# BENCH_engine.json baseline: per-benchmark ns/op, allocs/op and B/op
+# deltas, signed and with percentages. Informational only — it never fails;
+# regressions are judged by a human (or flagged by CI's non-blocking
+# quick-bench job).
+bench-compare:
+	$(GO) run ./cmd/rhythm-bench -out /tmp/rhythm-bench-new.json
+	$(GO) run ./cmd/rhythm-bench -compare BENCH_engine.json /tmp/rhythm-bench-new.json
+
+# golden verifies the byte-determinism contract end to end: a quick
+# seed-2020 run of the fig2+fig7 subset (Station.At, the batched path-tail
+# estimator, the profiling sweep, every RNG stream) must hash to the pinned
+# GOLDEN.sha256. Any change to produced float bits or draw order — however
+# small — fails this in ~4 s. The pin is amd64-specific (math.Log/Exp are
+# per-arch assembly); regenerate on other architectures before comparing.
+golden:
+	$(GO) run ./cmd/rhythm -quick -seed 2020 -jobs 1 run fig2 fig7 | sha256sum -c GOLDEN.sha256
+
+# golden-update re-pins GOLDEN.sha256 after an INTENTIONAL output change
+# (new experiment content, a deliberate model change). Never run it to
+# silence an unexplained diff — that diff is the contract catching a bug.
+golden-update:
+	$(GO) run ./cmd/rhythm -quick -seed 2020 -jobs 1 run fig2 fig7 | sha256sum > GOLDEN.sha256

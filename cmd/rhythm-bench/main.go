@@ -17,15 +17,28 @@
 // ns_per_op is wall time and varies with the host; allocs_per_op and
 // bytes_per_op are deterministic for a given build and are what the
 // acceptance gates compare across PRs.
+//
+// Diff mode:
+//
+//	rhythm-bench -compare old.json new.json
+//
+// prints a per-benchmark table of ns/op, allocs/op and B/op deltas (signed,
+// with percentages) between two report files — `make bench-compare` wires
+// it to a saved baseline. Comparison is by benchmark name, so reordered or
+// partially overlapping reports still line up; benchmarks present in only
+// one file are listed as added/removed. -compare only reads and reports; it
+// never fails on a regression (CI uses it as a non-blocking drift report).
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"testing"
+	"text/tabwriter"
 
 	"rhythm/internal/benchmarks"
 )
@@ -61,7 +74,20 @@ var registry = []struct {
 
 func main() {
 	out := flag.String("out", "BENCH_engine.json", "output file (- for stdout)")
+	compare := flag.Bool("compare", false, "compare two report files: rhythm-bench -compare old.json new.json")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: rhythm-bench -compare old.json new.json")
+			os.Exit(2)
+		}
+		if err := compareReports(flag.Arg(0), flag.Arg(1), os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "rhythm-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	rep := report{
 		Schema: "rhythm-bench/v1",
@@ -97,4 +123,74 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rhythm-bench:", err)
 		os.Exit(1)
 	}
+}
+
+func loadReport(path string) (*report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if rep.Schema != "rhythm-bench/v1" {
+		return nil, fmt.Errorf("%s: unsupported schema %q", path, rep.Schema)
+	}
+	return &rep, nil
+}
+
+// delta formats a signed absolute change with its percentage, or "=" when
+// nothing moved; the percent is omitted when the old value is zero.
+func delta(old, new float64, format string) string {
+	if old == new {
+		return "="
+	}
+	d := new - old
+	if old == 0 {
+		return fmt.Sprintf("%+"+format, d)
+	}
+	return fmt.Sprintf("%+"+format+" (%+.1f%%)", d, 100*d/old)
+}
+
+// compareReports prints the per-benchmark drift between two report files.
+// It matches benchmarks by name so partially overlapping registries still
+// line up, and lists additions/removals explicitly.
+func compareReports(oldPath, newPath string, w io.Writer) error {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := make(map[string]result, len(oldRep.Benchmarks))
+	for _, r := range oldRep.Benchmarks {
+		oldBy[r.Name] = r
+	}
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "benchmark\told ns/op\tnew ns/op\tΔ ns/op\tΔ allocs/op\tΔ B/op\n")
+	seen := make(map[string]bool, len(newRep.Benchmarks))
+	for _, n := range newRep.Benchmarks {
+		seen[n.Name] = true
+		o, ok := oldBy[n.Name]
+		if !ok {
+			fmt.Fprintf(tw, "%s\t-\t%.1f\t(added)\t%d\t%d\n",
+				n.Name, n.NsPerOp, n.AllocsPerOp, n.BytesPerOp)
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%s\t%s\t%s\n",
+			n.Name, o.NsPerOp, n.NsPerOp,
+			delta(o.NsPerOp, n.NsPerOp, ".1f"),
+			delta(float64(o.AllocsPerOp), float64(n.AllocsPerOp), ".0f"),
+			delta(float64(o.BytesPerOp), float64(n.BytesPerOp), ".0f"))
+	}
+	for _, o := range oldRep.Benchmarks {
+		if !seen[o.Name] {
+			fmt.Fprintf(tw, "%s\t%.1f\t-\t(removed)\t\t\n", o.Name, o.NsPerOp)
+		}
+	}
+	return tw.Flush()
 }

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCompareReports(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", `{
+  "schema": "rhythm-bench/v1", "goos": "linux", "goarch": "amd64", "cpus": 1,
+  "benchmarks": [
+    {"name": "PathP99", "iters": 100, "ns_per_op": 300000, "allocs_per_op": 0, "bytes_per_op": 2},
+    {"name": "Gone", "iters": 10, "ns_per_op": 50, "allocs_per_op": 1, "bytes_per_op": 8}
+  ]
+}`)
+	new := writeReport(t, dir, "new.json", `{
+  "schema": "rhythm-bench/v1", "goos": "linux", "goarch": "amd64", "cpus": 1,
+  "benchmarks": [
+    {"name": "PathP99", "iters": 200, "ns_per_op": 150000, "allocs_per_op": 0, "bytes_per_op": 0},
+    {"name": "Fresh", "iters": 10, "ns_per_op": 75, "allocs_per_op": 2, "bytes_per_op": 16}
+  ]
+}`)
+
+	var sb strings.Builder
+	if err := compareReports(old, new, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"PathP99", "-150000.0", "(-50.0%)", // ns/op halved, signed with percent
+		"-2",        // bytes went 2 -> 0
+		"(added)",   // Fresh only in new
+		"(removed)", // Gone only in old
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("compare output missing %q:\n%s", want, out)
+		}
+	}
+	// allocs unchanged for PathP99: rendered as bare "=" cell.
+	if !strings.Contains(out, "=") {
+		t.Fatalf("unchanged metric not rendered as '=':\n%s", out)
+	}
+}
+
+func TestCompareReportsBadSchema(t *testing.T) {
+	dir := t.TempDir()
+	bad := writeReport(t, dir, "bad.json", `{"schema": "other/v9"}`)
+	good := writeReport(t, dir, "good.json", `{"schema": "rhythm-bench/v1"}`)
+	var sb strings.Builder
+	if err := compareReports(bad, good, &sb); err == nil {
+		t.Fatal("expected schema error")
+	}
+}

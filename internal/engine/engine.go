@@ -265,6 +265,13 @@ type podRuntime struct {
 	sojourn    queueing.Sojourn
 	sojournKey [3]float64
 	sojournOK  bool
+	// Log-space lognormal parameters of sojourn, denormalized here so the
+	// per-sample hot path (Engine.sampleFn) is a bare
+	// exp(mu + sigma*normal) with no struct copy or method dispatch.
+	// Bit-identical to sojourn.Sample by construction: Lognormal.Sample
+	// is exactly that expression over these two fields.
+	sjMu    float64
+	sjSigma float64
 }
 
 // Engine executes one configured run.
@@ -364,7 +371,7 @@ func New(cfg Config) (*Engine, error) {
 	// per-sample map.
 	e.sampleFn = func(c string) float64 {
 		p := e.podByName[c]
-		v := p.sojourn.Sample(e.rng)
+		v := math.Exp(p.sjMu + p.sjSigma*e.rng.NormFloat64())
 		if e.cfg.CollectSamples {
 			p.stats.SojournSamples = append(p.stats.SojournSamples, v)
 		}
@@ -467,6 +474,7 @@ func (e *Engine) tick(now sim.Time, load float64) {
 		inflate, cvInflate = p.smooth(inflate, cvInflate, dt, e.cfg.InertiaTau)
 		if key := [3]float64{qps, inflate, cvInflate}; !p.sojournOK || key != p.sojournKey {
 			p.sojourn = p.comp.Station.At(qps, inflate, cvInflate, 1)
+			p.sjMu, p.sjSigma = p.sojourn.LogParams()
 			p.sojournKey, p.sojournOK = key, true
 		}
 		sj := p.sojourn

@@ -35,13 +35,14 @@ func ablationContribution(ctx *Context) (*Table, error) {
 		n = 4000
 	}
 	rng := ctx.ScratchRNG("ablation-contribution")
+	var buf []float64
 	const load = 0.6
 
 	soloSJ := make(map[string]queueing.Sojourn)
 	for _, c := range svc.Components {
 		soloSJ[c.Name] = c.Station.Solo(load * svc.MaxLoadQPS)
 	}
-	solo := e2eP99(svc, soloSJ, n, rng)
+	solo, buf := e2eP99Into(buf, svc, soloSJ, n, rng)
 
 	// Measured sensitivity per pod under the mixed BE group.
 	var sens []float64
@@ -50,7 +51,8 @@ func ablationContribution(ctx *Context) (*Table, error) {
 		sum := 0.0
 		srcs := []string{"stream_dram(big)", "stream_llc(big)", "CPU_stress", "iperf"}
 		for _, src := range srcs {
-			p99 := staticColocationP99(svc, c.Name, src, load, n, rng)
+			var p99 float64
+			p99, buf = staticColocationP99(buf, svc, c.Name, src, load, n, rng)
 			sum += (p99 - solo) / solo
 		}
 		sens = append(sens, sum/float64(len(srcs)))

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"math"
+
 	"rhythm/internal/bejobs"
 	"rhythm/internal/cluster"
 	"rhythm/internal/interference"
@@ -41,21 +43,41 @@ func sourceBE(src string) (bejobs.Type, bool) {
 	}
 }
 
-// e2eP99 samples the service's end-to-end p99 with the given per-component
-// sojourn distributions.
-func e2eP99(svc *workload.Service, sj map[string]queueing.Sojourn, n int, rng *sim.RNG) float64 {
-	xs := make([]float64, n)
-	for i := range xs {
-		xs[i] = svc.Graph.Latency(func(c string) float64 { return sj[c].Sample(rng) })
+// e2eP99Into samples the service's end-to-end p99 with the given
+// per-component sojourn distributions, writing the n latency samples into
+// buf (grown only when too small) and returning the possibly-grown buffer
+// for the next call, so a figure's sweep over loads and interference
+// sources allocates one sample buffer total. The per-component lognormal
+// parameters are flattened out of the Sojourn values once per call, and
+// the tail is computed by O(n) selection; the draws and the estimate are
+// bit-identical to the seed's per-sample Sojourn.Sample + copy/sort
+// Quantile (frozen contract, sim.RNG.NormFloat64).
+func e2eP99Into(buf []float64, svc *workload.Service, sj map[string]queueing.Sojourn, n int, rng *sim.RNG) (float64, []float64) {
+	if cap(buf) < n {
+		buf = make([]float64, n)
 	}
-	return sim.Quantile(xs, 0.99)
+	buf = buf[:n]
+	params := make(map[string][2]float64, len(sj))
+	for c, s := range sj {
+		mu, sg := s.LogParams()
+		params[c] = [2]float64{mu, sg}
+	}
+	sample := func(c string) float64 {
+		p := params[c]
+		return math.Exp(p[0] + p[1]*rng.NormFloat64())
+	}
+	for i := range buf {
+		buf[i] = svc.Graph.Latency(sample)
+	}
+	return sim.SelectQuantile(buf, 0.99), buf
 }
 
 // staticColocationP99 computes the service p99 when one component is
 // statically co-located with an interference source (§2's methodology: no
-// controller, pinning only, shared LLC/DRAM/network).
-func staticColocationP99(svc *workload.Service, target string, src string,
-	load float64, n int, rng *sim.RNG) float64 {
+// controller, pinning only, shared LLC/DRAM/network). buf is the shared
+// sample scratch (see e2eP99Into).
+func staticColocationP99(buf []float64, svc *workload.Service, target string, src string,
+	load float64, n int, rng *sim.RNG) (float64, []float64) {
 	model := interference.Unisolated()
 	spec := cluster.DefaultSpec()
 	sj := make(map[string]queueing.Sojourn, len(svc.Components))
@@ -80,7 +102,7 @@ func staticColocationP99(svc *workload.Service, target string, src string,
 		}
 		sj[c.Name] = c.Station.At(qps, inflate, cvInflate, freq)
 	}
-	return e2eP99(svc, sj, n, rng)
+	return e2eP99Into(buf, svc, sj, n, rng)
 }
 
 // fig2 characterizes the inconsistent interference tolerance of LC
@@ -107,6 +129,7 @@ func fig2(ctx *Context) (*Table, error) {
 		{workload.ECommerce(), []string{"Tomcat", "MySQL"}},
 	}
 	rng := ctx.ScratchRNG("fig2")
+	var buf []float64 // shared sample scratch across the whole sweep
 
 	// increase[src][pod] accumulates the mean increase for the notes.
 	increase := map[string]map[string]float64{}
@@ -117,14 +140,15 @@ func fig2(ctx *Context) (*Table, error) {
 			for _, c := range cs.svc.Components {
 				sj[c.Name] = c.Station.Solo(load * cs.svc.MaxLoadQPS)
 			}
-			solo[load] = e2eP99(cs.svc, sj, n, rng)
+			solo[load], buf = e2eP99Into(buf, cs.svc, sj, n, rng)
 		}
 		for _, pod := range cs.pods {
 			for _, src := range fig2Sources {
 				row := []string{cs.svc.Name, pod, src}
 				sum := 0.0
 				for _, load := range loads {
-					p99 := staticColocationP99(cs.svc, pod, src, load, n, rng)
+					var p99 float64
+					p99, buf = staticColocationP99(buf, cs.svc, pod, src, load, n, rng)
 					inc := (p99 - solo[load]) / solo[load]
 					sum += inc
 					row = append(row, pct(inc))
@@ -177,13 +201,14 @@ func fig7(ctx *Context) (*Table, error) {
 	}
 	svc := sys.Service
 	rng := ctx.ScratchRNG("fig7")
+	var buf []float64
 	const load = 0.6
 
 	soloSJ := make(map[string]queueing.Sojourn)
 	for _, c := range svc.Components {
 		soloSJ[c.Name] = c.Station.Solo(load * svc.MaxLoadQPS)
 	}
-	solo := e2eP99(svc, soloSJ, n, rng)
+	solo, buf := e2eP99Into(buf, svc, soloSJ, n, rng)
 
 	groups := map[string][]string{
 		"mixed":       {"stream_dram(big)", "stream_llc(big)", "CPU_stress", "iperf"},
@@ -202,7 +227,8 @@ func fig7(ctx *Context) (*Table, error) {
 		for _, g := range order {
 			sum := 0.0
 			for _, src := range groups[g] {
-				p99 := staticColocationP99(svc, c.Name, src, load, n, rng)
+				var p99 float64
+				p99, buf = staticColocationP99(buf, svc, c.Name, src, load, n, rng)
 				sum += (p99 - solo) / solo
 			}
 			v := sum / float64(len(groups[g]))

@@ -13,7 +13,6 @@ package queueing
 
 import (
 	"fmt"
-	"sort"
 
 	"rhythm/internal/sim"
 )
@@ -98,6 +97,11 @@ func (s Sojourn) Quantile(q float64) float64 { return s.dist.Quantile(q) }
 // Sample draws one sojourn time.
 func (s Sojourn) Sample(r *sim.RNG) float64 { return s.dist.Sample(r) }
 
+// LogParams exposes the log-space lognormal parameters so hot paths can
+// inline exp(mu + sigma*normal) — bit-identical to Sample — without the
+// struct copy and method dispatch.
+func (s Sojourn) LogParams() (mu, sigma float64) { return s.dist.LogParams() }
+
 // maxUtilization caps the modeled utilization so that the system stays
 // (barely) stable even when callers push the offered load to or beyond the
 // nominal maximum: real servers shed latency to 'infinite' queues slowly,
@@ -108,7 +112,16 @@ const maxUtilization = 0.985
 // (per second) and interference inflates the mean service time by the
 // factor inflate (>= 1) and the service-time CV by cvInflate (>= 1).
 // freqScale scales the service rate for DVFS (1 = nominal frequency).
+//
+// Degenerate operating points are clamped rather than propagated: a
+// negative or NaN lambda models as an idle station (rate 0), matching how
+// a load pattern that briefly computes a nonsensical rate should read —
+// no offered load — instead of poisoning the lognormal fit with NaNs and
+// panicking deep inside NewLognormal.
 func (s Station) At(lambda, inflate, cvInflate, freqScale float64) Sojourn {
+	if !(lambda > 0) {
+		lambda = 0 // negative or NaN offered load: idle
+	}
 	if inflate < 1 {
 		inflate = 1
 	}
@@ -175,21 +188,32 @@ func (s Station) MaxRate() float64 {
 //
 // PathP99 estimates the p99 of the sum of the given sojourns using n Monte
 // Carlo samples from r. It allocates a fresh sample buffer per call; tight
-// loops should hold a scratch buffer and use PathP99Into.
+// loops should hold a PathEstimator (or at least a scratch buffer and
+// PathP99Into).
 func PathP99(stages []Sojourn, n int, r *sim.RNG) float64 {
 	p, _ := PathP99Into(nil, stages, n, r)
 	return p
 }
 
+// pathEstimatorMaxStackStages bounds the stack-resident SoA scratch
+// PathP99Into flattens stage parameters into; deeper paths (no real
+// service comes close) fall back to heap slices.
+const pathEstimatorMaxStackStages = 16
+
 // PathP99Into is PathP99 with a caller-owned scratch buffer: the n path
-// sums are written into buf (grown only when cap(buf) < n), sorted in
-// place, and the possibly-grown buffer is returned for the next call, so a
-// sweep that estimates many operating points allocates once.
+// sums are written into buf (grown only when cap(buf) < n) and the
+// possibly-grown buffer is returned for the next call, so a sweep that
+// estimates many operating points allocates once.
 //
-// Ownership: the returned slice aliases buf's storage and is overwritten
-// by the next call; callers that need the samples must copy them. The
-// estimate is identical to PathP99's — same draws in the same RNG order,
-// same interpolated order statistic.
+// Ownership: the returned slice aliases buf's storage, holds the n path
+// sums partially reordered by quantile selection (NOT sorted), and is
+// overwritten by the next call; callers that need the samples must copy
+// them. The estimate is identical to the seed implementation's
+// sort-then-interpolate — same draws in the same frozen RNG order (one
+// normal per stage per draw, sim.SumLognormals), same order statistics,
+// bit-for-bit — but runs in O(n) via sim.SelectQuantile and the batched
+// structure-of-arrays sample kernel instead of per-draw method dispatch
+// plus an O(n log n) sort. See DESIGN.md §9.
 func PathP99Into(buf []float64, stages []Sojourn, n int, r *sim.RNG) (float64, []float64) {
 	if len(stages) == 0 || n <= 0 {
 		return 0, buf
@@ -198,13 +222,62 @@ func PathP99Into(buf []float64, stages []Sojourn, n int, r *sim.RNG) (float64, [
 		buf = make([]float64, n)
 	}
 	buf = buf[:n]
-	for i := range buf {
-		t := 0.0
-		for _, s := range stages {
-			t += s.Sample(r)
-		}
-		buf[i] = t
+	var muArr, sgArr [pathEstimatorMaxStackStages]float64
+	var mu, sg []float64
+	if len(stages) <= pathEstimatorMaxStackStages {
+		mu, sg = muArr[:len(stages)], sgArr[:len(stages)]
+	} else {
+		mu, sg = make([]float64, len(stages)), make([]float64, len(stages))
 	}
-	sort.Float64s(buf)
-	return sim.QuantileSorted(buf, 0.99), buf
+	for i, s := range stages {
+		mu[i], sg[i] = s.dist.LogParams()
+	}
+	sim.SumLognormals(buf, mu, sg, r)
+	return sim.SelectQuantile(buf, 0.99), buf
+}
+
+// PathEstimator is the reusable form of the Monte Carlo path-tail
+// estimator: it owns the flattened structure-of-arrays lognormal
+// parameters and the sample scratch, so a sweep that estimates many
+// operating points pays zero allocations after the first call. Not safe
+// for concurrent use; each worker owns its estimator, mirroring the
+// one-RNG-per-worker rule.
+type PathEstimator struct {
+	mu    []float64
+	sigma []float64
+	buf   []float64
+}
+
+// SetStages flattens the per-stage lognormal parameters into the
+// estimator's scratch. Call it whenever the operating point changes; the
+// stages slice is not retained.
+func (pe *PathEstimator) SetStages(stages []Sojourn) {
+	pe.mu = pe.mu[:0]
+	pe.sigma = pe.sigma[:0]
+	for _, s := range stages {
+		mu, sg := s.dist.LogParams()
+		pe.mu = append(pe.mu, mu)
+		pe.sigma = append(pe.sigma, sg)
+	}
+}
+
+// Quantile estimates the q-quantile of the path sum from n Monte Carlo
+// draws. Draw order and produced bits are identical to sampling each
+// stage's Sojourn.Sample per draw and sorting (the frozen contract,
+// RNG.NormFloat64); the estimate is computed by selection in O(n).
+func (pe *PathEstimator) Quantile(q float64, n int, r *sim.RNG) float64 {
+	if len(pe.mu) == 0 || n <= 0 {
+		return 0
+	}
+	if cap(pe.buf) < n {
+		pe.buf = make([]float64, n)
+	}
+	pe.buf = pe.buf[:n]
+	sim.SumLognormals(pe.buf, pe.mu, pe.sigma, r)
+	return sim.SelectQuantile(pe.buf, q)
+}
+
+// P99 is Quantile at 0.99, the repo's standard tail statistic.
+func (pe *PathEstimator) P99(n int, r *sim.RNG) float64 {
+	return pe.Quantile(0.99, n, r)
 }

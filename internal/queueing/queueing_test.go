@@ -2,6 +2,7 @@ package queueing
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -192,6 +193,130 @@ func TestAtClampsDegenerateInputs(t *testing.T) {
 	solo := s.Solo(0.5 * s.MaxRate())
 	if math.Abs(sj.Mean()-solo.Mean()) > 1e-12 {
 		t.Fatal("degenerate inputs should clamp to solo behaviour")
+	}
+}
+
+// TestAtClampsDegenerateLambda: negative or NaN offered load must model as
+// an idle station — finite, NaN-free, and equal to the true zero-load
+// operating point — not poison the lognormal fit.
+func TestAtClampsDegenerateLambda(t *testing.T) {
+	s := defaultStation()
+	idle := s.Solo(0)
+	for name, lambda := range map[string]float64{
+		"negative": -100,
+		"nan":      math.NaN(),
+		"neg-inf":  math.Inf(-1),
+	} {
+		sj := s.At(lambda, 1, 1, 1)
+		if math.IsNaN(sj.Mean()) || math.IsInf(sj.Mean(), 0) {
+			t.Fatalf("%s lambda: mean %v not finite", name, sj.Mean())
+		}
+		if sj.Mean() != idle.Mean() || sj.Utilization != idle.Utilization {
+			t.Fatalf("%s lambda: got mean %v util %v, want idle point mean %v util %v",
+				name, sj.Mean(), sj.Utilization, idle.Mean(), idle.Utilization)
+		}
+		if sj.P99() != idle.P99() {
+			t.Fatalf("%s lambda: p99 %v, want %v", name, sj.P99(), idle.P99())
+		}
+	}
+}
+
+// seedPathP99 is the pre-optimization implementation, kept verbatim as the
+// differential oracle: per-draw Sojourn.Sample dispatch, full sort,
+// interpolated quantile. PathP99Into and PathEstimator must reproduce its
+// output bit-for-bit AND leave the RNG at the same stream position.
+func seedPathP99(stages []Sojourn, n int, r *sim.RNG) float64 {
+	if len(stages) == 0 || n <= 0 {
+		return 0
+	}
+	buf := make([]float64, n)
+	for i := range buf {
+		t := 0.0
+		for _, s := range stages {
+			t += s.Sample(r)
+		}
+		buf[i] = t
+	}
+	sort.Float64s(buf)
+	return sim.QuantileSorted(buf, 0.99)
+}
+
+func pathStages(k int) []Sojourn {
+	s := defaultStation()
+	stages := make([]Sojourn, k)
+	for i := range stages {
+		frac := 0.3 + 0.15*float64(i)
+		stages[i] = s.At(frac*s.MaxRate(), 1+0.1*float64(i), 1+0.05*float64(i), 1)
+	}
+	return stages
+}
+
+func TestPathP99IntoMatchesSeedImplementation(t *testing.T) {
+	for _, k := range []int{1, 3, 4, 7} {
+		for _, n := range []int{1, 2, 100, 1000, 6000} {
+			stages := pathStages(k)
+
+			ref := sim.NewRNG(2020).Fork("path")
+			want := seedPathP99(stages, n, ref)
+
+			rng := sim.NewRNG(2020).Fork("path")
+			got, _ := PathP99Into(nil, stages, n, rng)
+
+			if math.Float64bits(want) != math.Float64bits(got) {
+				t.Fatalf("k=%d n=%d: PathP99Into = %x, seed oracle = %x",
+					k, n, math.Float64bits(got), math.Float64bits(want))
+			}
+			if a, b := ref.Uint64(), rng.Uint64(); a != b {
+				t.Fatalf("k=%d n=%d: RNG stream diverged after estimate", k, n)
+			}
+		}
+	}
+}
+
+func TestPathEstimatorMatchesSeedImplementation(t *testing.T) {
+	var pe PathEstimator
+	for _, k := range []int{1, 4, 7} {
+		stages := pathStages(k)
+		pe.SetStages(stages)
+		for _, n := range []int{1, 100, 5000} {
+			ref := sim.NewRNG(99).Fork("pe")
+			want := seedPathP99(stages, n, ref)
+
+			rng := sim.NewRNG(99).Fork("pe")
+			got := pe.P99(n, rng)
+
+			if math.Float64bits(want) != math.Float64bits(got) {
+				t.Fatalf("k=%d n=%d: PathEstimator.P99 = %x, seed oracle = %x",
+					k, n, math.Float64bits(got), math.Float64bits(want))
+			}
+			if a, b := ref.Uint64(), rng.Uint64(); a != b {
+				t.Fatalf("k=%d n=%d: RNG stream diverged after estimate", k, n)
+			}
+		}
+	}
+	if pe.P99(0, sim.NewRNG(1)) != 0 {
+		t.Fatal("n<=0 should return 0")
+	}
+	pe.SetStages(nil)
+	if pe.P99(100, sim.NewRNG(1)) != 0 {
+		t.Fatal("no stages should return 0")
+	}
+}
+
+// TestPathEstimatorZeroAllocs: after the first call grows the scratch,
+// repeated estimates at the same n must not allocate.
+func TestPathEstimatorZeroAllocs(t *testing.T) {
+	stages := pathStages(4)
+	var pe PathEstimator
+	rng := sim.NewRNG(5)
+	pe.SetStages(stages)
+	pe.P99(1000, rng) // warm the scratch
+	allocs := testing.AllocsPerRun(20, func() {
+		pe.SetStages(stages)
+		pe.P99(1000, rng)
+	})
+	if allocs != 0 {
+		t.Fatalf("PathEstimator allocates %.1f per op, want 0", allocs)
 	}
 }
 

@@ -69,6 +69,13 @@ func (l Lognormal) Sample(r *RNG) float64 {
 	return math.Exp(l.mu + l.sigma*r.NormFloat64())
 }
 
+// LogParams returns the log-space mean and standard deviation, the
+// parameters a fused sampler needs to reproduce Sample's exact expression
+// (exp(mu + sigma*z)) without going through the method: SumLognormals and
+// the queueing path estimator flatten many distributions into (mu, sigma)
+// structure-of-arrays scratch and draw in bulk.
+func (l Lognormal) LogParams() (mu, sigma float64) { return l.mu, l.sigma }
+
 // Mean returns the linear-space mean.
 func (l Lognormal) Mean() float64 { return l.mean }
 
@@ -87,8 +94,18 @@ type Pareto struct {
 	Cap   float64 // upper truncation (0 means unbounded)
 }
 
-// Sample draws a Pareto variate, truncated at Cap when Cap > 0.
+// Sample draws a Pareto variate, truncated at Cap when Cap > 0. It panics
+// on a degenerate distribution (Alpha <= 0, NaN parameters, or Xm <= 0):
+// such a Pareto has no valid density, and silently returning the Inf/NaN
+// that the sampling formula produces would poison every statistic
+// downstream of the draw.
 func (p Pareto) Sample(r *RNG) float64 {
+	if !(p.Alpha > 0) {
+		panic(fmt.Sprintf("sim: Pareto tail index Alpha must be positive, got %g", p.Alpha))
+	}
+	if !(p.Xm > 0) {
+		panic(fmt.Sprintf("sim: Pareto minimum Xm must be positive, got %g", p.Xm))
+	}
 	u := r.Float64()
 	for u == 0 {
 		u = r.Float64()

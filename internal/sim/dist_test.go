@@ -161,3 +161,42 @@ func TestDistSamplesNonNegative(t *testing.T) {
 		}
 	}
 }
+
+// TestParetoDegenerate pins the descriptive panics for distributions with
+// no valid density: non-positive or NaN tail index and minimum.
+func TestParetoDegenerate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Pareto
+	}{
+		{"zero alpha", Pareto{Alpha: 0, Xm: 1}},
+		{"negative alpha", Pareto{Alpha: -2, Xm: 1}},
+		{"nan alpha", Pareto{Alpha: math.NaN(), Xm: 1}},
+		{"zero xm", Pareto{Alpha: 1.5, Xm: 0}},
+		{"negative xm", Pareto{Alpha: 1.5, Xm: -3}},
+		{"nan xm", Pareto{Alpha: 1.5, Xm: math.NaN()}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: Sample did not panic", tc.name)
+				}
+			}()
+			tc.p.Sample(NewRNG(1))
+		})
+	}
+}
+
+// TestParetoValidStillSamples guards the guard: a well-formed Pareto keeps
+// sampling within its support.
+func TestParetoValidStillSamples(t *testing.T) {
+	p := Pareto{Alpha: 1.5, Xm: 2, Cap: 50}
+	r := NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		v := p.Sample(r)
+		if v < p.Xm || v > p.Cap {
+			t.Fatalf("sample %v outside [%v, %v]", v, p.Xm, p.Cap)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package sim
+
+import "math"
+
+// sumBatch is the scratch extent (in draws×stages elements) of one
+// SumLognormals chunk: two float64 arrays of this size live on the stack
+// (8 KiB total), small enough to stay in L1 while the four passes stream
+// over them.
+const sumBatch = 512
+
+// SumLognormals fills dst with len(dst) independent path sums over the
+// per-stage lognormal parameters mu and sigma (log-space, as returned by
+// Lognormal.LogParams):
+//
+//	dst[i] = Σ_s exp(mu[s] + sigma[s] * z_{i,s})
+//
+// where z_{i,s} are standard normal draws from r.
+//
+// The draw order is frozen (see RNG.NormFloat64): draw-major,
+// stage-minor — for each path sum i, one normal per stage s in stage
+// order — exactly the uniform stream a plain `for each i { for each s {
+// dist.Sample(r) } }` loop consumes, and every produced float is
+// bit-identical to that loop's. Byte-determinism of the experiment tables
+// depends on both properties.
+//
+// Internally the work is restructured for throughput rather than
+// per-draw: uniforms for a chunk of draws are pulled from r in stream
+// order into stack scratch, then the radius pass (sqrt of log), the angle
+// pass (cos2pi) and the exp-accumulate pass each stream over the chunk as
+// a separate loop. Splitting the expensive kernels into per-kernel passes
+// keeps each loop's call target and branch pattern uniform, which is what
+// lets out-of-order execution overlap successive calls; the fused
+// per-draw form measures ~40% slower on random data. Zero heap
+// allocations.
+//
+// mu and sigma must have equal length; len(mu) == 0 zero-fills dst.
+func SumLognormals(dst []float64, mu, sigma []float64, r *RNG) {
+	k := len(mu)
+	if len(sigma) != k {
+		panic("sim: SumLognormals mu/sigma length mismatch")
+	}
+	if k == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	if k > sumBatch {
+		// Degenerate path depth; keep the frozen order with the plain
+		// per-draw loop rather than growing heap scratch.
+		for i := range dst {
+			t := 0.0
+			for s := 0; s < k; s++ {
+				t += math.Exp(mu[s] + sigma[s]*r.NormFloat64())
+			}
+			dst[i] = t
+		}
+		return
+	}
+	var zrs, css [sumBatch]float64
+	drawsPer := sumBatch / k
+	n := len(dst)
+	for base := 0; base < n; base += drawsPer {
+		m := drawsPer
+		if n-base < m {
+			m = n - base
+		}
+		e := m * k
+		zr := zrs[:e]
+		cs := css[:e]
+		// Pass 1: uniforms in the frozen stream order. u1 is redrawn
+		// while zero, exactly as NormFloat64 does.
+		for j := range zr {
+			u1 := r.Float64()
+			for u1 == 0 {
+				u1 = r.Float64()
+			}
+			zr[j] = u1
+			cs[j] = r.Float64()
+		}
+		// Pass 2: Box-Muller radius.
+		for j, u := range zr {
+			zr[j] = math.Sqrt(-2 * math.Log(u))
+		}
+		// Pass 3: Box-Muller angle, fused with the radius*angle product —
+		// after this pass zr holds the normal variates themselves. The
+		// product is the same single multiplication NormFloat64 performs.
+		// Two angles per call (cos2pi2) overlap the per-element serial
+		// reduction+polynomial chains, which is worth ~15% of the pass.
+		j := 0
+		for ; j+1 < len(cs); j += 2 {
+			c0, c1 := cos2pi2(cs[j], cs[j+1])
+			zr[j] *= c0
+			zr[j+1] *= c1
+		}
+		if j < len(cs) {
+			zr[j] *= cos2pi(cs[j])
+		}
+		// Pass 4: exponentiate and accumulate the path sums. The argument
+		// grouping mu + sigma*norm matches Lognormal.Sample bit-for-bit.
+		// Row re-slicing keeps every index provably in bounds so the inner
+		// loop is check-free.
+		out := dst[base : base+m]
+		for d := range out {
+			row := zr[d*k : d*k+k : d*k+k]
+			t := 0.0
+			for s, norm := range row {
+				t += math.Exp(mu[s] + sigma[s]*norm)
+			}
+			out[d] = t
+		}
+	}
+}

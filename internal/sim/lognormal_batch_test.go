@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSumLognormalsMatchesPerDrawLoop pins the batched sampler to the
+// plain dispatch loop it replaced: identical produced bits AND identical
+// RNG stream position afterwards, for stage counts around the real
+// services' path depths and draw counts that exercise partial final
+// chunks.
+func TestSumLognormalsMatchesPerDrawLoop(t *testing.T) {
+	for _, k := range []int{1, 2, 4, 7} {
+		for _, n := range []int{1, 5, sumBatch / k, sumBatch/k + 3, 1000} {
+			dists := make([]Lognormal, k)
+			mu := make([]float64, k)
+			sigma := make([]float64, k)
+			for s := 0; s < k; s++ {
+				dists[s] = NewLognormal(0.01*float64(s+1), 0.2+0.3*float64(s))
+				mu[s], sigma[s] = dists[s].LogParams()
+			}
+
+			ref := NewRNG(2020).Fork("batch")
+			want := make([]float64, n)
+			for i := range want {
+				sum := 0.0
+				for s := 0; s < k; s++ {
+					sum += dists[s].Sample(ref)
+				}
+				want[i] = sum
+			}
+
+			got := make([]float64, n)
+			rng := NewRNG(2020).Fork("batch")
+			SumLognormals(got, mu, sigma, rng)
+
+			for i := range want {
+				if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+					t.Fatalf("k=%d n=%d sum %d: got %x want %x", k, n, i,
+						math.Float64bits(got[i]), math.Float64bits(want[i]))
+				}
+			}
+			// The stream must be left exactly where the dispatch loop
+			// leaves it, or every later draw in a run diverges.
+			if a, b := ref.Uint64(), rng.Uint64(); a != b {
+				t.Fatalf("k=%d n=%d: stream position diverged (%x vs %x)", k, n, a, b)
+			}
+		}
+	}
+}
+
+// TestSumLognormalsZeroStages zero-fills without touching the stream.
+func TestSumLognormalsZeroStages(t *testing.T) {
+	rng := NewRNG(1)
+	before := *rng
+	dst := []float64{1, 2, 3}
+	SumLognormals(dst, nil, nil, rng)
+	for i, v := range dst {
+		if v != 0 {
+			t.Fatalf("dst[%d] = %v, want 0", i, v)
+		}
+	}
+	if *rng != before {
+		t.Fatal("zero-stage call advanced the RNG")
+	}
+}
+
+// TestSumLognormalsMismatch panics on uneven parameter arrays.
+func TestSumLognormalsMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mu/sigma length mismatch")
+		}
+	}()
+	SumLognormals(make([]float64, 4), []float64{1}, []float64{1, 2}, NewRNG(1))
+}
+
+// TestSumLognormalsZeroAllocs: the batched sampler must not allocate —
+// its scratch is stack arrays.
+func TestSumLognormalsZeroAllocs(t *testing.T) {
+	mu := []float64{-3, -3.2, -2.9, -4}
+	sigma := []float64{0.3, 0.4, 0.2, 0.5}
+	dst := make([]float64, 1000)
+	rng := NewRNG(7)
+	allocs := testing.AllocsPerRun(20, func() {
+		SumLognormals(dst, mu, sigma, rng)
+	})
+	if allocs != 0 {
+		t.Fatalf("SumLognormals allocates %.1f per op, want 0", allocs)
+	}
+}

@@ -97,6 +97,21 @@ func (r *RNG) Intn(n int) int {
 
 // NormFloat64 returns a standard normal variate (Box-Muller; one value per
 // call, the pair's second half is discarded to keep the stream simple).
+//
+// # Frozen draw-order contract
+//
+// Every experiment table in this repository is pinned byte-identical across
+// refactors, so both the uniform-consumption order and the produced bits of
+// this function are frozen: one call consumes exactly two Float64 draws
+// (u1 first — redrawn while zero — then u2) and returns exactly
+//
+//	math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+//
+// bit-for-bit (the cosine goes through cos2pi, a branch-reduced kernel
+// differentially pinned to math.Cos). Batched samplers such as
+// SumLognormals re-implement this expression pass-by-pass over many draws;
+// any change here must be mirrored there and will show up as a stdout diff
+// in every golden experiment run. See DESIGN.md §9.
 func (r *RNG) NormFloat64() float64 {
 	// Avoid u1 == 0 which would yield log(0).
 	u1 := r.Float64()
@@ -104,7 +119,7 @@ func (r *RNG) NormFloat64() float64 {
 		u1 = r.Float64()
 	}
 	u2 := r.Float64()
-	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return math.Sqrt(-2*math.Log(u1)) * cos2pi(u2)
 }
 
 // ExpFloat64 returns an exponential variate with rate 1.

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCos2PiMatchesStdlib pins the branch-reduced cosine kernel to
+// math.Cos bit-for-bit over the uniform range NormFloat64 feeds it, the
+// octant boundaries where the reduction's integer fixups flip, and the
+// hostile arguments that take the fallback path. This equality is what
+// keeps every experiment table byte-identical across the hot-path rewrite.
+func TestCos2PiMatchesStdlib(t *testing.T) {
+	check := func(u float64) {
+		t.Helper()
+		want := math.Cos(2 * math.Pi * u)
+		got := cos2pi(u)
+		if math.Float64bits(want) != math.Float64bits(got) {
+			t.Fatalf("cos2pi(%v) = %x (%v), want %x (%v)",
+				u, math.Float64bits(got), got, math.Float64bits(want), want)
+		}
+	}
+
+	// Octant boundaries and their floating-point neighbours: each eighth
+	// of the circle exercises a different (sign, polynomial) pair.
+	for i := 0; i <= 8; i++ {
+		u := float64(i) / 8
+		check(u)
+		check(math.Nextafter(u, 0))
+		check(math.Nextafter(u, 1))
+	}
+	// Extremes of the producible range.
+	for _, u := range []float64{0, 5e-324, 1e-300, 1e-17, 0.5, 1 - 1e-16,
+		math.Nextafter(1, 0)} {
+		check(u)
+	}
+	// Fallback path: arguments NormFloat64 can never produce.
+	for _, u := range []float64{-0.25, -1, 1 << 30, math.Inf(1), math.Inf(-1)} {
+		want := math.Cos(2 * math.Pi * u)
+		got := cos2pi(u)
+		if math.Float64bits(want) != math.Float64bits(got) &&
+			!(math.IsNaN(want) && math.IsNaN(got)) {
+			t.Fatalf("cos2pi(%v) = %v, want %v", u, got, want)
+		}
+	}
+
+	// Dense uniform sweep, the actual hot-path input distribution.
+	r := NewRNG(0xC05)
+	for i := 0; i < 5_000_000; i++ {
+		check(r.Float64())
+	}
+}
+
+// TestCos2Pi2MatchesSingle pins the pairwise kernel to cos2pi per lane:
+// both results must be the single-argument kernel's bits exactly, in every
+// lane pairing — including pairs that straddle the fallback condition,
+// where one hostile lane sends BOTH arguments through math.Cos (still
+// bit-identical, since cos2pi falls back to math.Cos for such arguments
+// and math.Cos agrees with the kernel on in-range ones).
+func TestCos2Pi2MatchesSingle(t *testing.T) {
+	check := func(u0, u1 float64) {
+		t.Helper()
+		g0, g1 := cos2pi2(u0, u1)
+		w0, w1 := cos2pi(u0), cos2pi(u1)
+		if math.Float64bits(g0) != math.Float64bits(w0) ||
+			math.Float64bits(g1) != math.Float64bits(w1) {
+			t.Fatalf("cos2pi2(%v, %v) = (%x, %x), want (%x, %x)", u0, u1,
+				math.Float64bits(g0), math.Float64bits(g1),
+				math.Float64bits(w0), math.Float64bits(w1))
+		}
+	}
+	// All octant-boundary pairings.
+	var edges []float64
+	for i := 0; i <= 8; i++ {
+		u := float64(i) / 8
+		edges = append(edges, u, math.Nextafter(u, 0), math.Nextafter(u, 1))
+	}
+	for _, a := range edges {
+		for _, b := range edges {
+			check(a, b)
+		}
+	}
+	// Fallback straddling: one lane hostile, the other in range.
+	for _, bad := range []float64{-0.25, 1 << 30} {
+		check(bad, 0.3)
+		check(0.3, bad)
+	}
+	// Dense uniform sweep in pairs.
+	r := NewRNG(0xC052)
+	for i := 0; i < 2_500_000; i++ {
+		check(r.Float64(), r.Float64())
+	}
+}
+
+// TestNormFloat64Frozen pins the frozen Box-Muller expression: the variate
+// must equal sqrt(-2 ln u1) * cos(2π u2) computed from the same two
+// uniforms, bit-for-bit. A change to the draw order or the kernel breaks
+// this before it breaks a golden experiment run.
+func TestNormFloat64Frozen(t *testing.T) {
+	a := NewRNG(42).Fork("norm")
+	b := NewRNG(42).Fork("norm")
+	for i := 0; i < 100_000; i++ {
+		u1 := b.Float64()
+		for u1 == 0 {
+			u1 = b.Float64()
+		}
+		u2 := b.Float64()
+		want := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+		got := a.NormFloat64()
+		if math.Float64bits(want) != math.Float64bits(got) {
+			t.Fatalf("draw %d: NormFloat64 = %x, want %x", i,
+				math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+}
