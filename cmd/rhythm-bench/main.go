@@ -28,6 +28,10 @@
 // partially overlapping reports still line up; benchmarks present in only
 // one file are listed as added/removed. -compare only reads and reports; it
 // never fails on a regression (CI uses it as a non-blocking drift report).
+//
+// -jobs caps GOMAXPROCS for the benchmarked operations, sharing the
+// fleet-wide default and validation path (internal/cliflags) with the
+// other rhythm binaries.
 package main
 
 import (
@@ -41,6 +45,7 @@ import (
 	"text/tabwriter"
 
 	"rhythm/internal/benchmarks"
+	"rhythm/internal/cliflags"
 )
 
 type result struct {
@@ -73,20 +78,39 @@ var registry = []struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_engine.json", "output file (- for stdout)")
-	compare := flag.Bool("compare", false, "compare two report files: rhythm-bench -compare old.json new.json")
-	flag.Parse()
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain is main with injectable argv and streams so flag handling is
+// table-testable: usage errors exit 2, runtime failures exit 1.
+func realMain(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rhythm-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("out", "BENCH_engine.json", "output file (- for stdout)")
+	compare := fs.Bool("compare", false, "compare two report files: rhythm-bench -compare old.json new.json")
+	var common cliflags.Common
+	common.RegisterJobs(fs)
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if err := common.Validate(); err != nil {
+		fmt.Fprintf(stderr, "rhythm-bench: %v\n", err)
+		return 2
+	}
+	// Benchmarks time single operations; -jobs caps the P they run under
+	// (GOMAXPROCS) so a shared CI host can pin the parallelism.
+	runtime.GOMAXPROCS(common.Jobs)
 
 	if *compare {
-		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: rhythm-bench -compare old.json new.json")
-			os.Exit(2)
+		if fs.NArg() != 2 {
+			fmt.Fprintln(stderr, "usage: rhythm-bench -compare old.json new.json")
+			return 2
 		}
-		if err := compareReports(flag.Arg(0), flag.Arg(1), os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "rhythm-bench:", err)
-			os.Exit(1)
+		if err := compareReports(fs.Arg(0), fs.Arg(1), stdout); err != nil {
+			fmt.Fprintln(stderr, "rhythm-bench:", err)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	rep := report{
@@ -104,25 +128,29 @@ func main() {
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 		})
-		fmt.Fprintf(os.Stderr, "%-20s %10d iters  %12.1f ns/op  %6d allocs/op  %8d B/op\n",
+		fmt.Fprintf(stderr, "%-20s %10d iters  %12.1f ns/op  %6d allocs/op  %8d B/op\n",
 			entry.name, r.N, float64(r.T.Nanoseconds())/float64(r.N),
 			r.AllocsPerOp(), r.AllocedBytesPerOp())
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rhythm-bench:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "rhythm-bench:", err)
+		return 1
 	}
 	enc = append(enc, '\n')
 	if *out == "-" {
-		os.Stdout.Write(enc)
-		return
+		if _, err := stdout.Write(enc); err != nil {
+			fmt.Fprintln(stderr, "rhythm-bench:", err)
+			return 1
+		}
+		return 0
 	}
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "rhythm-bench:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "rhythm-bench:", err)
+		return 1
 	}
+	return 0
 }
 
 func loadReport(path string) (*report, error) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
@@ -51,6 +52,30 @@ func TestCompareReports(t *testing.T) {
 	// allocs unchanged for PathP99: rendered as bare "=" cell.
 	if !strings.Contains(out, "=") {
 		t.Fatalf("unchanged metric not rendered as '=':\n%s", out)
+	}
+}
+
+// TestFlagBehavior pins the shared cliflags contract in this binary:
+// -jobs validates through the same path (same message) as cmd/rhythm,
+// and -compare usage errors exit 2.
+func TestFlagBehavior(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := realMain([]string{"-jobs", "0", "-compare"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-jobs 0: exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "-jobs must be at least 1, got 0") {
+		t.Fatalf("jobs diagnostic: %s", stderr.String())
+	}
+	stderr.Reset()
+	if code := realMain([]string{"-compare", "only-one.json"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-compare with one arg: exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "usage: rhythm-bench -compare") {
+		t.Fatalf("compare usage diagnostic: %s", stderr.String())
+	}
+	stderr.Reset()
+	if code := realMain([]string{"-compare", "nope-a.json", "nope-b.json"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("-compare with missing files: exit %d, want 1", code)
 	}
 }
 

@@ -7,37 +7,53 @@
 // Usage:
 //
 //	rhythm-trace [-service E-commerce] [-requests 500] [-load 0.5]
-//	             [-threads 2] [-rate 800] [-persistent] [-seed 1]
+//	             [-threads 2] [-rate 800] [-persistent] [-seed 2020]
+//
+// -seed shares the fleet-wide default (2020) and validation path with the
+// other rhythm binaries via internal/cliflags.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"rhythm/internal/cliflags"
 	"rhythm/internal/queueing"
 	"rhythm/internal/trace"
 	"rhythm/internal/workload"
 )
 
 func main() {
-	service := flag.String("service", "E-commerce", "LC service to trace")
-	requests := flag.Int("requests", 500, "requests to trace")
-	load := flag.Float64("load", 0.5, "load fraction during tracing")
-	threads := flag.Int("threads", 2, "worker threads per Servpod (fewer => more interleaving)")
-	rate := flag.Float64("rate", 800, "request arrival rate (req/s)")
-	persistent := flag.Bool("persistent", true, "use persistent TCP connections between Servpods")
-	noise := flag.Int("noise", 200, "unrelated-process noise events per host")
-	seed := flag.Uint64("seed", 1, "RNG seed")
-	flag.Parse()
-
-	if err := run(*service, *requests, *load, *threads, *rate, *persistent, *noise, *seed); err != nil {
-		fmt.Fprintln(os.Stderr, "rhythm-trace:", err)
-		os.Exit(1)
-	}
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(service string, requests int, load float64, threads int, rate float64,
+// realMain is main with injectable argv and streams so flag handling is
+// table-testable: usage errors exit 2, runtime failures exit 1.
+func realMain(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rhythm-trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	service := fs.String("service", "E-commerce", "LC service to trace")
+	requests := fs.Int("requests", 500, "requests to trace")
+	load := fs.Float64("load", 0.5, "load fraction during tracing")
+	threads := fs.Int("threads", 2, "worker threads per Servpod (fewer => more interleaving)")
+	rate := fs.Float64("rate", 800, "request arrival rate (req/s)")
+	persistent := fs.Bool("persistent", true, "use persistent TCP connections between Servpods")
+	noise := fs.Int("noise", 200, "unrelated-process noise events per host")
+	var common cliflags.Common
+	common.RegisterSeed(fs)
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if err := run(stdout, *service, *requests, *load, *threads, *rate, *persistent, *noise, common.Seed); err != nil {
+		fmt.Fprintln(stderr, "rhythm-trace:", err)
+		return 1
+	}
+	return 0
+}
+
+func run(stdout io.Writer, service string, requests int, load float64, threads int, rate float64,
 	persistent bool, noise int, seed uint64) error {
 	svc, err := workload.ByName(service)
 	if err != nil {
@@ -60,21 +76,21 @@ func run(service string, requests int, load float64, threads int, rate float64,
 	if err != nil {
 		return err
 	}
-	fmt.Printf("generated %d events for %d requests (%d Servpods, load %.0f%%)\n",
+	fmt.Fprintf(stdout, "generated %d events for %d requests (%d Servpods, load %.0f%%)\n",
 		len(events), requests, len(svc.Components), 100*load)
 
 	cpg := trace.BuildCPG(events, topo.Pods)
-	fmt.Printf("CPG: %d vertices, %d causal edges, acyclic=%v\n",
+	fmt.Fprintf(stdout, "CPG: %d vertices, %d causal edges, acyclic=%v\n",
 		len(cpg.Events), len(cpg.Edges), cpg.Acyclic())
 
 	res, err := trace.Analyze(events, topo.Pods, svc.Graph.Comp)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("tracer: %d requests, %d noise/client events filtered, %d context edges, %d message edges\n\n",
+	fmt.Fprintf(stdout, "tracer: %d requests, %d noise/client events filtered, %d context edges, %d message edges\n\n",
 		res.Requests, res.Filtered, res.ContextEdges, res.MessageEdges)
 
-	fmt.Printf("%-16s %14s %14s %10s\n", "servpod", "true mean", "tracer mean", "rel err")
+	fmt.Fprintf(stdout, "%-16s %14s %14s %10s\n", "servpod", "true mean", "tracer mean", "rel err")
 	for _, c := range svc.Components {
 		want := truth.MeanSojourn(c.Name)
 		got := res.PerPod[c.Name].MeanPerRequest
@@ -82,11 +98,11 @@ func run(service string, requests int, load float64, threads int, rate float64,
 		if want > 0 {
 			rel = (got - want) / want
 		}
-		fmt.Printf("%-16s %12.3fms %12.3fms %9.2e\n", c.Name, want*1000, got*1000, rel)
+		fmt.Fprintf(stdout, "%-16s %12.3fms %12.3fms %9.2e\n", c.Name, want*1000, got*1000, rel)
 	}
-	fmt.Printf("\nend-to-end: mean %.2fms, p99 %.2fms (%d samples)\n",
+	fmt.Fprintf(stdout, "\nend-to-end: mean %.2fms, p99 %.2fms (%d samples)\n",
 		res.MeanE2E()*1000, res.TailE2E(0.99)*1000, len(res.E2Es))
-	fmt.Println("\nThe §3.3 identity: per-request pairings may mismatch under",
+	fmt.Fprintln(stdout, "\nThe §3.3 identity: per-request pairings may mismatch under",
 		"\nnon-blocking interleavings and persistent connections, but the",
 		"\nper-Servpod sojourn means are exactly invariant — which is why the",
 		"\ncontribution analyzer (Eq. 1-3) consumes means.")

@@ -29,6 +29,10 @@
 //	              trace_event JSON for chrome://tracing / ui.perfetto.dev.
 //	-metrics-out F  write a Prometheus text-format snapshot of the
 //	              counters/gauges/histograms accumulated during the run.
+//	-faults X     inject a deterministic fault schedule into every run:
+//	              a canned preset (surges, storm, chaos) or a JSON
+//	              schedule file. Unset (the default) leaves every table
+//	              bit-frozen on its golden output.
 //
 // Exit codes: 0 on success, 1 when an experiment or profile fails while
 // running, 2 for usage errors (unknown command or experiment id, missing
@@ -40,11 +44,11 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
 	"sort"
 	"time"
 
 	"rhythm/internal/bejobs"
+	"rhythm/internal/cliflags"
 	"rhythm/internal/core"
 	"rhythm/internal/experiments"
 	"rhythm/internal/obs"
@@ -69,16 +73,12 @@ func realMain(argv []string, stdout, rawStderr io.Writer) int {
 
 	fs := flag.NewFlagSet("rhythm", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	quick := fs.Bool("quick", true, "reduced experiment scale")
-	seed := fs.Uint64("seed", 2020, "RNG seed")
-	jobs := fs.Int("jobs", runtime.NumCPU(),
-		"parallel worker count (>= 1; output is identical for any value)")
-	traceOut := fs.String("trace-out", "",
-		"write the observability event stream to this file")
-	traceFormat := fs.String("trace-format", "jsonl",
-		"trace file format: jsonl or chrome (trace_event JSON)")
-	metricsOut := fs.String("metrics-out", "",
-		"write a Prometheus text-format metrics snapshot to this file")
+	var common cliflags.Common
+	var traceFlags cliflags.Trace
+	var faultFlags cliflags.Faults
+	common.Register(fs)
+	traceFlags.Register(fs)
+	faultFlags.Register(fs)
 	fs.Usage = func() { usage(fs, stderr) }
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -88,14 +88,17 @@ func realMain(argv []string, stdout, rawStderr io.Writer) int {
 		usage(fs, stderr)
 		return 2
 	}
-	// -jobs 0 or negative used to silently fall through to the worker
-	// pool's NumCPU backstop; it is a usage error.
-	if *jobs < 1 {
-		fmt.Fprintf(stderr, "rhythm: -jobs must be at least 1, got %d\n", *jobs)
-		return 2
+	// The shared validation path (internal/cliflags) rejects -jobs < 1
+	// and unknown trace formats with the same messages in every binary.
+	for _, err := range []error{common.Validate(), traceFlags.Validate()} {
+		if err != nil {
+			fmt.Fprintf(stderr, "rhythm: %v\n", err)
+			return 2
+		}
 	}
-	if *traceFormat != "jsonl" && *traceFormat != "chrome" {
-		fmt.Fprintf(stderr, "rhythm: -trace-format must be jsonl or chrome, got %q\n", *traceFormat)
+	sched, err := faultFlags.Resolve(common.Seed, 0)
+	if err != nil {
+		fmt.Fprintf(stderr, "rhythm: %v\n", err)
 		return 2
 	}
 
@@ -112,23 +115,24 @@ func realMain(argv []string, stdout, rawStderr io.Writer) int {
 			fmt.Fprintf(stderr, "rhythm: %v (run \"rhythm list\" for the registry)\n", err)
 			return 2
 		}
-		if *traceOut == "" {
+		if traceFlags.Out == "" {
 			ext := ".trace.jsonl"
-			if *traceFormat == "chrome" {
+			if traceFlags.Format == cliflags.FormatChrome {
 				ext = ".trace.json"
 			}
-			*traceOut = args[1] + ext
+			traceFlags.Out = args[1] + ext
 		}
 	}
 
-	bus, finish, code := setupObs(*traceOut, *traceFormat, *metricsOut, stderr)
+	bus, finish, code := setupObs(traceFlags.Out, traceFlags.Format, traceFlags.MetricsOut, stderr)
 	if code != 0 {
 		return code
 	}
 	defer finish()
 
-	ctx := experiments.NewContext(experiments.Options{Quick: *quick, Seed: *seed, Jobs: *jobs})
-	var err error
+	ctx := experiments.NewContext(experiments.Options{
+		Quick: common.Quick, Seed: common.Seed, Jobs: common.Jobs, Faults: sched,
+	})
 	switch args[0] {
 	case "list":
 		err = list(stdout)
@@ -141,7 +145,7 @@ func realMain(argv []string, stdout, rawStderr io.Writer) int {
 	case "trace":
 		err = run(ctx, args[1:2], stdout, stderr)
 		if err == nil {
-			traceSummary(bus, *traceOut, *metricsOut, stderr)
+			traceSummary(bus, traceFlags.Out, traceFlags.MetricsOut, stderr)
 		}
 	case "profile":
 		err = profile(ctx, args[1:], stdout)
@@ -268,7 +272,7 @@ flags:
 }
 
 func list(stdout io.Writer) error {
-	for _, id := range experiments.IDs() {
+	for _, id := range append(experiments.IDs(), experiments.ScenarioIDs()...) {
 		e, err := experiments.Get(id)
 		if err != nil {
 			return err

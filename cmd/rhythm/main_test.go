@@ -29,6 +29,7 @@ func TestArgValidation(t *testing.T) {
 		{"run mixed known and unknown", []string{"run", "fig2", "bogus"}, 2, "bogus"},
 		{"bad trace format", []string{"-trace-format", "xml", "list"}, 2,
 			"-trace-format must be jsonl or chrome"},
+		{"bad faults preset", []string{"-faults", "no-such-storm", "list"}, 2, "-faults:"},
 		{"trace without id", []string{"trace"}, 2, "trace needs exactly one experiment id"},
 		{"trace two ids", []string{"trace", "fig2", "fig3"}, 2,
 			"trace needs exactly one experiment id"},
@@ -65,5 +66,22 @@ func TestValidateRunIDsAcceptsRegistry(t *testing.T) {
 	}
 	if code := validateRunIDs([]string{"fig2", "fig17", "tab1"}, &stderr); code != 0 {
 		t.Fatalf("registered ids rejected: %s", stderr.String())
+	}
+	// Scenario experiments are runnable by id even though `run all`
+	// excludes them (the golden stdout must not change).
+	if code := validateRunIDs([]string{"resilience"}, &stderr); code != 0 {
+		t.Fatalf("resilience rejected: %s", stderr.String())
+	}
+}
+
+// TestListIncludesScenarios: `rhythm list` advertises the on-demand
+// scenarios after the paper experiments, so resilience is discoverable.
+func TestListIncludesScenarios(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := realMain([]string{"list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("list failed: %s", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "resilience") {
+		t.Fatalf("list does not mention resilience:\n%s", stdout.String())
 	}
 }

@@ -12,9 +12,6 @@ import (
 	"time"
 
 	"rhythm"
-
-	"rhythm/internal/controller"
-	"rhythm/internal/profiler"
 )
 
 func main() {
@@ -23,7 +20,7 @@ func main() {
 		log.Fatal(err)
 	}
 	sys, err := rhythm.Deploy(svc, rhythm.Options{
-		Profile: profiler.Options{
+		Profile: rhythm.ProfileOptions{
 			Levels:        []float64{0.1, 0.3, 0.5, 0.65, 0.75, 0.85, 0.93},
 			LevelDuration: 6 * time.Second,
 			UseTracer:     true,
@@ -89,5 +86,5 @@ func main() {
 			break
 		}
 	}
-	_ = controller.StopBE // document the action vocabulary's origin
+	_ = rhythm.StopBE // document the action vocabulary's origin
 }

@@ -14,8 +14,6 @@ import (
 	"time"
 
 	"rhythm"
-
-	"rhythm/internal/profiler"
 )
 
 func main() {
@@ -30,7 +28,7 @@ func main() {
 	}
 
 	sys, err := rhythm.Deploy(svc, rhythm.Options{
-		Profile: profiler.Options{
+		Profile: rhythm.ProfileOptions{
 			Levels:        []float64{0.1, 0.3, 0.5, 0.65, 0.8, 0.93},
 			LevelDuration: 6 * time.Second,
 		},

@@ -12,8 +12,6 @@ import (
 	"time"
 
 	"rhythm"
-
-	"rhythm/internal/profiler"
 )
 
 func main() {
@@ -27,7 +25,7 @@ func main() {
 		"service", "EMU impr", "CPU impr", "MemBW impr", "p99/SLA", "violations")
 	for _, svc := range rhythm.Services() {
 		sys, err := rhythm.Deploy(svc, rhythm.Options{
-			Profile: profiler.Options{
+			Profile: rhythm.ProfileOptions{
 				Levels:        []float64{0.1, 0.3, 0.5, 0.65, 0.75, 0.85, 0.93},
 				LevelDuration: 5 * time.Second,
 				UseTracer:     true,

@@ -15,8 +15,6 @@ import (
 	"time"
 
 	"rhythm"
-
-	"rhythm/internal/profiler"
 )
 
 func main() {
@@ -28,7 +26,7 @@ func main() {
 	// Deploy = the paper's offline phase. The reduced sweep keeps this
 	// example fast; drop the Profile override for the full-fidelity sweep.
 	sys, err := rhythm.Deploy(svc, rhythm.Options{
-		Profile: profiler.Options{
+		Profile: rhythm.ProfileOptions{
 			Levels:        []float64{0.1, 0.3, 0.5, 0.65, 0.8, 0.93},
 			LevelDuration: 6 * time.Second,
 			UseTracer:     true,

@@ -1,0 +1,122 @@
+// Package cliflags centralizes the flag definitions the rhythm binaries
+// share — -seed, -jobs, -quick, -trace-out, -trace-format, -metrics-out
+// and -faults — so cmd/rhythm, cmd/rhythm-bench and cmd/rhythm-trace
+// default and validate them through one path. Each binary registers only
+// the groups it uses; the defaults and the error messages are identical
+// everywhere, which the cross-binary tests pin.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"rhythm/internal/faults"
+)
+
+// DefaultSeed is the seed every tool starts from: the paper's year.
+const DefaultSeed uint64 = 2020
+
+// Trace file formats accepted by -trace-format.
+const (
+	FormatJSONL  = "jsonl"
+	FormatChrome = "chrome"
+)
+
+// Common is the -seed/-jobs/-quick trio.
+type Common struct {
+	Seed  uint64
+	Jobs  int
+	Quick bool
+
+	jobsRegistered bool
+}
+
+// RegisterSeed binds -seed alone (tools without parallel sweeps).
+func (c *Common) RegisterSeed(fs *flag.FlagSet) {
+	fs.Uint64Var(&c.Seed, "seed", DefaultSeed, "RNG seed")
+}
+
+// RegisterJobs binds -jobs alone.
+func (c *Common) RegisterJobs(fs *flag.FlagSet) {
+	c.jobsRegistered = true
+	fs.IntVar(&c.Jobs, "jobs", runtime.NumCPU(),
+		"parallel worker count (>= 1; output is identical for any value)")
+}
+
+// RegisterQuick binds -quick alone.
+func (c *Common) RegisterQuick(fs *flag.FlagSet) {
+	fs.BoolVar(&c.Quick, "quick", true, "reduced experiment scale")
+}
+
+// Register binds all three common flags.
+func (c *Common) Register(fs *flag.FlagSet) {
+	c.RegisterSeed(fs)
+	c.RegisterJobs(fs)
+	c.RegisterQuick(fs)
+}
+
+// Validate rejects invalid common flag values. Jobs is only checked when
+// RegisterJobs bound the flag: 0 and negatives used to fall silently
+// through to the worker pool's NumCPU backstop; they are usage errors.
+func (c *Common) Validate() error {
+	if c.jobsRegistered && c.Jobs < 1 {
+		return fmt.Errorf("-jobs must be at least 1, got %d", c.Jobs)
+	}
+	return nil
+}
+
+// Trace is the observability flag trio.
+type Trace struct {
+	Out        string
+	Format     string
+	MetricsOut string
+}
+
+// Register binds -trace-out, -trace-format and -metrics-out.
+func (t *Trace) Register(fs *flag.FlagSet) {
+	fs.StringVar(&t.Out, "trace-out", "",
+		"write the observability event stream to this file")
+	fs.StringVar(&t.Format, "trace-format", FormatJSONL,
+		"trace file format: jsonl or chrome (trace_event JSON)")
+	fs.StringVar(&t.MetricsOut, "metrics-out", "",
+		"write a Prometheus text-format metrics snapshot to this file")
+}
+
+// Validate rejects unknown trace formats.
+func (t *Trace) Validate() error {
+	if t.Format != FormatJSONL && t.Format != FormatChrome {
+		return fmt.Errorf("-trace-format must be %s or %s, got %q",
+			FormatJSONL, FormatChrome, t.Format)
+	}
+	return nil
+}
+
+// Faults is the -faults selector: empty (no injection), a canned preset
+// name, or a path to a JSON schedule file.
+type Faults struct {
+	Arg string
+}
+
+// Register binds -faults.
+func (f *Faults) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Arg, "faults", "",
+		"fault schedule: a preset ("+strings.Join(faults.Presets(), ", ")+
+			") or a JSON schedule file")
+}
+
+// Resolve materializes the selected schedule (nil when the flag is unset,
+// leaving every run bit-frozen). Presets place their events over span
+// (<= 0 uses the preset default) with timing derived from seed.
+func (f *Faults) Resolve(seed uint64, span time.Duration) (*faults.Schedule, error) {
+	if f.Arg == "" {
+		return nil, nil
+	}
+	sched, err := faults.Resolve(f.Arg, seed, span)
+	if err != nil {
+		return nil, fmt.Errorf("-faults: %w", err)
+	}
+	return sched, nil
+}

@@ -1,0 +1,110 @@
+package cliflags
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newFS() *flag.FlagSet {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+// TestDefaults pins the shared defaults every binary inherits: seed 2020,
+// jobs NumCPU, quick on, jsonl traces, no fault injection.
+func TestDefaults(t *testing.T) {
+	fs := newFS()
+	var c Common
+	var tr Trace
+	var f Faults
+	c.Register(fs)
+	tr.Register(fs)
+	f.Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Seed != 2020 || c.Jobs != runtime.NumCPU() || !c.Quick {
+		t.Fatalf("common defaults: %+v", c)
+	}
+	if tr.Format != FormatJSONL || tr.Out != "" || tr.MetricsOut != "" {
+		t.Fatalf("trace defaults: %+v", tr)
+	}
+	if f.Arg != "" {
+		t.Fatalf("faults default: %+v", f)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sched, err := f.Resolve(2020, 0)
+	if err != nil || sched != nil {
+		t.Fatalf("unset -faults resolved to %v, %v", sched, err)
+	}
+}
+
+// TestValidation pins the shared error messages: every binary that
+// registers a group reports invalid values identically.
+func TestValidation(t *testing.T) {
+	var c Common
+	c.RegisterJobs(newFS())
+	c.Jobs = -3
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "-jobs must be at least 1, got -3") {
+		t.Fatalf("jobs error: %v", err)
+	}
+	// A tool that never registers -jobs (rhythm-trace) leaves Jobs at 0
+	// without that being a usage error.
+	var noJobs Common
+	if err := noJobs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := Trace{Format: "xml"}
+	if err := tr.Validate(); err == nil || !strings.Contains(err.Error(), "-trace-format must be jsonl or chrome") {
+		t.Fatalf("format error: %v", err)
+	}
+}
+
+// TestFaultsResolve pins that -faults accepts presets and files through
+// the same resolution path as the library, deterministically.
+func TestFaultsResolve(t *testing.T) {
+	f := Faults{Arg: "chaos"}
+	a, err := f.Resolve(7, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Resolve(7, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) == 0 || len(a.Events) != len(b.Events) {
+		t.Fatalf("preset not deterministic: %d vs %d events", len(a.Events), len(b.Events))
+	}
+
+	f.Arg = "no-such-preset"
+	if _, err := f.Resolve(7, 0); err == nil || !strings.Contains(err.Error(), "-faults:") {
+		t.Fatalf("bad preset error: %v", err)
+	}
+
+	path := filepath.Join(t.TempDir(), "sched.json")
+	body := `{"name":"custom","events":[{"kind":"load-surge","at_s":1,"dur_s":2,"magnitude":1.5}]}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f.Arg = path
+	sched, err := f.Resolve(7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Events) != 1 || sched.Name != "custom" {
+		t.Fatalf("file schedule: %+v", sched)
+	}
+}

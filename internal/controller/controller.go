@@ -11,6 +11,7 @@ package controller
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -67,8 +68,17 @@ type Policy interface {
 }
 
 // decide implements Algorithm 2 for a threshold pair.
+//
+// The NaN guard comes first: every float comparison against NaN is false,
+// so without it a broken measurement pipeline (measurement-dropout faults,
+// internal/faults) would fall through every branch to AllowBEGrowth — the
+// most aggressive action, taken exactly when the controller is blind.
+// Degraded inputs instead freeze BE growth; the engine escalates further
+// via Degraded when blindness persists.
 func decide(t Thresholds, load, slack float64) Action {
 	switch {
+	case math.IsNaN(slack) || math.IsNaN(load):
+		return DisallowBEGrowth
 	case slack < 0:
 		return StopBE
 	case load > t.Loadlimit:
@@ -97,6 +107,8 @@ type Explainer interface {
 // identical conditions, which TestExplainMatchesDecide locks in.
 func explain(t Thresholds, load, slack float64) (Action, string) {
 	switch {
+	case math.IsNaN(slack) || math.IsNaN(load):
+		return DisallowBEGrowth, "degraded: NaN measurement input; freezing BE growth"
 	case slack < 0:
 		return StopBE, fmt.Sprintf("slack %.3f < 0: SLA violated", slack)
 	case load > t.Loadlimit:
@@ -240,3 +252,30 @@ func (r *Rhythm) SlacklimitFor(pod string) float64 {
 
 // SlacklimitFor returns the uniform slacklimit.
 func (h *Heracles) SlacklimitFor(string) float64 { return h.Uniform.Slacklimit }
+
+// DegradedAfter is the number of consecutive blind control periods the
+// degraded-mode escalation tolerates before it moves from freezing BE
+// growth to actively cutting allocations.
+const DegradedAfter = 2
+
+// Degraded maps the count of consecutive control periods with an
+// unusable latency measurement (NaN or known-stale p99) to the
+// conservative action for that much blindness: freeze BE growth for the
+// first DegradedAfter periods, then start cutting BE allocations until
+// measurements return. The mapping is stateless — the engine owns the
+// per-pod counter — so shared policy values stay safe for concurrent
+// runs. It never returns AllowBEGrowth: a blind controller must not
+// expand the interference it cannot measure.
+func Degraded(consecutive int) Action {
+	if consecutive <= DegradedAfter {
+		return DisallowBEGrowth
+	}
+	return CutBE
+}
+
+// DegradedReason renders the Explainer-style reason for a degraded-mode
+// decision; cause names what broke (e.g. "p99 NaN", "p99 stale").
+func DegradedReason(consecutive int, cause string) string {
+	act := Degraded(consecutive)
+	return fmt.Sprintf("degraded: %s for %d period(s): %s until measurements return", cause, consecutive, act)
+}

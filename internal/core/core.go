@@ -13,6 +13,7 @@ import (
 	"rhythm/internal/bejobs"
 	"rhythm/internal/controller"
 	"rhythm/internal/engine"
+	"rhythm/internal/faults"
 	"rhythm/internal/loadgen"
 	"rhythm/internal/profiler"
 	"rhythm/internal/workload"
@@ -102,7 +103,8 @@ func Deploy(svc *workload.Service, opts Options) (*System, error) {
 type RunConfig struct {
 	// Pattern offers the LC load (required).
 	Pattern loadgen.Pattern
-	// BETypes are cycled when admitting BE instances (required).
+	// BETypes are cycled when admitting BE instances (required unless
+	// Policy is PolicyNone).
 	BETypes []bejobs.Type
 	// Duration is the virtual run time (required).
 	Duration time.Duration
@@ -112,45 +114,96 @@ type RunConfig struct {
 	Seed uint64
 	// Timeline retains the Fig. 17 series.
 	Timeline bool
+	// Policy selects who controls the run: nil or PolicyRhythm uses the
+	// system's own derived per-Servpod policy, PolicyHeracles the §5.1
+	// uniform baseline, PolicyNone no BE jobs at all (solo reference);
+	// any other controller.Policy is used as given (threshold sweeps,
+	// ablations).
+	Policy controller.Policy
+	// Faults injects a deterministic fault schedule (internal/faults);
+	// nil leaves the run fault-free and bit-frozen.
+	Faults *faults.Schedule
 }
 
-// Run co-locates BE jobs with the LC service under Rhythm's policy.
+// builtinPolicy marks the RunConfig.Policy sentinels. Its Decide is never
+// consulted: Run resolves sentinels to real policies before the engine
+// sees them (the most conservative action is returned just in case one is
+// passed to an engine directly).
+type builtinPolicy string
+
+// Decide always suspends; sentinels never reach an engine through Run.
+func (builtinPolicy) Decide(string, float64, float64) controller.Action {
+	return controller.SuspendBE
+}
+
+// Name identifies the sentinel.
+func (b builtinPolicy) Name() string { return string(b) }
+
+// The RunConfig.Policy selectors. PolicyRhythm (or nil) runs the system's
+// derived per-Servpod policy, PolicyHeracles the uniform baseline,
+// PolicyNone the LC service alone with no BE jobs.
+var (
+	PolicyRhythm   controller.Policy = builtinPolicy("policy-rhythm")
+	PolicyHeracles controller.Policy = builtinPolicy("policy-heracles")
+	PolicyNone     controller.Policy = builtinPolicy("policy-none")
+)
+
+// Run executes one co-location run of the deployed system, fully described
+// by cfg: which policy controls it (RunConfig.Policy), which BE jobs ride
+// along, what load pattern is offered, and which faults (if any) are
+// injected. It is the single entry point the experiments, examples and
+// facade build on; RunBaseline/RunWith/RunSolo are deprecated wrappers
+// over it.
 func (s *System) Run(cfg RunConfig) (*engine.RunStats, error) {
-	return s.runWith(s.Policy, cfg)
-}
-
-// RunBaseline runs the identical scenario under the Heracles baseline.
-func (s *System) RunBaseline(cfg RunConfig) (*engine.RunStats, error) {
-	return s.runWith(controller.NewHeracles(), cfg)
-}
-
-// RunWith runs the scenario under an arbitrary policy (threshold sweeps,
-// ablations).
-func (s *System) RunWith(pol controller.Policy, cfg RunConfig) (*engine.RunStats, error) {
-	return s.runWith(pol, cfg)
-}
-
-// RunSolo runs the LC service alone (no BE jobs) for reference.
-func (s *System) RunSolo(cfg RunConfig) (*engine.RunStats, error) {
-	cfg.BETypes = nil
-	return s.runWith(nil, cfg)
-}
-
-func (s *System) runWith(pol controller.Policy, cfg RunConfig) (*engine.RunStats, error) {
+	pol := cfg.Policy
+	betypes := cfg.BETypes
+	switch cfg.Policy {
+	case nil, PolicyRhythm:
+		pol = s.Policy
+	case PolicyHeracles:
+		pol = controller.NewHeracles()
+	case PolicyNone:
+		pol, betypes = nil, nil
+	}
 	e, err := engine.New(engine.Config{
 		Service:  s.Service,
 		Pattern:  cfg.Pattern,
 		SLA:      s.SLA,
 		Policy:   pol,
-		BETypes:  cfg.BETypes,
+		BETypes:  betypes,
 		Seed:     cfg.Seed,
 		Warmup:   cfg.Warmup,
 		Timeline: cfg.Timeline,
+		Faults:   cfg.Faults,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return e.Run(cfg.Duration)
+}
+
+// RunBaseline runs the identical scenario under the Heracles baseline.
+//
+// Deprecated: set RunConfig.Policy = PolicyHeracles and call Run.
+func (s *System) RunBaseline(cfg RunConfig) (*engine.RunStats, error) {
+	cfg.Policy = PolicyHeracles
+	return s.Run(cfg)
+}
+
+// RunWith runs the scenario under an arbitrary policy.
+//
+// Deprecated: set RunConfig.Policy and call Run.
+func (s *System) RunWith(pol controller.Policy, cfg RunConfig) (*engine.RunStats, error) {
+	cfg.Policy = pol
+	return s.Run(cfg)
+}
+
+// RunSolo runs the LC service alone (no BE jobs) for reference.
+//
+// Deprecated: set RunConfig.Policy = PolicyNone and call Run.
+func (s *System) RunSolo(cfg RunConfig) (*engine.RunStats, error) {
+	cfg.Policy = PolicyNone
+	return s.Run(cfg)
 }
 
 // Comparison holds a Rhythm-vs-Heracles pair over the same scenario.
@@ -161,11 +214,13 @@ type Comparison struct {
 
 // Compare runs the same scenario under both policies.
 func (s *System) Compare(cfg RunConfig) (*Comparison, error) {
+	cfg.Policy = PolicyRhythm
 	r, err := s.Run(cfg)
 	if err != nil {
 		return nil, err
 	}
-	h, err := s.RunBaseline(cfg)
+	cfg.Policy = PolicyHeracles
+	h, err := s.Run(cfg)
 	if err != nil {
 		return nil, err
 	}

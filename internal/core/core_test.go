@@ -78,10 +78,11 @@ func TestCompareImprovesEMUAtHighLoad(t *testing.T) {
 
 func TestSoloRun(t *testing.T) {
 	sys := quickDeploy(t)
-	st, err := sys.RunSolo(RunConfig{
+	st, err := sys.Run(RunConfig{
 		Pattern:  loadgen.Constant(0.5),
 		Duration: 10 * time.Second,
 		Seed:     3,
+		Policy:   PolicyNone,
 	})
 	if err != nil {
 		t.Fatal(err)

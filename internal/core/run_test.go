@@ -1,0 +1,122 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"rhythm/internal/bejobs"
+	"rhythm/internal/controller"
+	"rhythm/internal/faults"
+	"rhythm/internal/loadgen"
+)
+
+// TestUnifiedRunMatchesWrappers pins the api_redesign contract: each
+// deprecated wrapper is exactly Run with the corresponding
+// RunConfig.Policy selector, byte-identical stats included.
+func TestUnifiedRunMatchesWrappers(t *testing.T) {
+	sys := quickDeploy(t)
+	base := RunConfig{
+		Pattern:  loadgen.Constant(0.6),
+		BETypes:  []bejobs.Type{bejobs.Wordcount},
+		Duration: 30 * time.Second,
+		Warmup:   6 * time.Second,
+		Seed:     7,
+	}
+
+	withPolicy := func(pol controller.Policy) RunConfig {
+		cfg := base
+		cfg.Policy = pol
+		return cfg
+	}
+
+	// nil and PolicyRhythm are the system's own policy.
+	rhythmNil, err := sys.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhythmSel, err := sys.Run(withPolicy(PolicyRhythm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rhythmNil, rhythmSel) {
+		t.Fatal("nil Policy and PolicyRhythm diverge")
+	}
+	if rhythmNil.Policy != "Rhythm" {
+		t.Fatalf("resolved policy %q, want Rhythm", rhythmNil.Policy)
+	}
+
+	her, err := sys.Run(withPolicy(PolicyHeracles))
+	if err != nil {
+		t.Fatal(err)
+	}
+	herWrap, err := sys.RunBaseline(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(her, herWrap) {
+		t.Fatal("RunBaseline diverges from Run(PolicyHeracles)")
+	}
+	if her.Policy != "Heracles" {
+		t.Fatalf("resolved policy %q, want Heracles", her.Policy)
+	}
+
+	solo, err := sys.Run(withPolicy(PolicyNone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloWrap, err := sys.RunSolo(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(solo, soloWrap) {
+		t.Fatal("RunSolo diverges from Run(PolicyNone)")
+	}
+	if solo.Policy != "solo" || solo.MeanBEThroughput() != 0 {
+		t.Fatalf("PolicyNone ran BE work: policy=%q thpt=%v", solo.Policy, solo.MeanBEThroughput())
+	}
+
+	custom := controller.NewHeracles()
+	custom.Uniform = controller.Thresholds{Loadlimit: 0.7, Slacklimit: 0.2}
+	got, err := sys.Run(withPolicy(custom))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotWrap, err := sys.RunWith(custom, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, gotWrap) {
+		t.Fatal("RunWith diverges from Run with a custom policy")
+	}
+}
+
+// TestRunWithFaults pins that a fault schedule reaches the engine through
+// the unified Run and that an invalid one fails before any work.
+func TestRunWithFaults(t *testing.T) {
+	sys := quickDeploy(t)
+	sched, err := faults.Preset("chaos", 11, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := RunConfig{
+		Pattern:  loadgen.Constant(0.6),
+		BETypes:  []bejobs.Type{bejobs.Wordcount},
+		Duration: 30 * time.Second,
+		Warmup:   6 * time.Second,
+		Seed:     7,
+		Faults:   sched,
+	}
+	st, err := sys.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalCrashes() == 0 && st.DegradedPeriods == 0 {
+		t.Fatal("chaos schedule had no visible effect")
+	}
+
+	cfg.Faults = &faults.Schedule{Events: []faults.Event{{Kind: "bogus"}}}
+	if _, err := sys.Run(cfg); err == nil {
+		t.Fatal("invalid schedule accepted")
+	}
+}

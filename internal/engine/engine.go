@@ -11,6 +11,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"rhythm/internal/bejobs"
 	"rhythm/internal/cluster"
 	"rhythm/internal/controller"
+	"rhythm/internal/faults"
 	"rhythm/internal/interference"
 	"rhythm/internal/isolation"
 	"rhythm/internal/loadgen"
@@ -84,18 +86,73 @@ type Config struct {
 	// when one is installed; empty derives "service|policy|seed=N". It has
 	// no effect on the simulation.
 	Label string
+	// Faults injects a deterministic fault schedule (internal/faults):
+	// load surges, interference storms, machine slowdowns, BE crashes,
+	// profile drift and measurement dropout. Nil disables injection
+	// entirely — every fault hook below is behind a nil check, so a
+	// fault-free run is byte-identical to one on a build without the
+	// faults subsystem at all.
+	Faults *faults.Schedule
 }
 
-func (c *Config) fillDefaults() error {
-	if c.Service == nil {
-		return fmt.Errorf("engine: Config.Service is required")
+// FieldError is a Config validation failure naming the exact field it
+// concerns, so callers can report — and tests can pin — which part of a
+// configuration is bad.
+type FieldError struct {
+	Field  string
+	Reason string
+}
+
+// Error implements error.
+func (e *FieldError) Error() string { return "engine: Config." + e.Field + ": " + e.Reason }
+
+// Validate checks the configuration before any work runs. Zero values
+// with documented defaults (TickDt, ControlPeriod, SamplesPerTick,
+// MaxBEPerMachine, Spec, Model, InertiaTau, SLAGuard) are valid — New
+// fills them — and the documented negative sentinels (SLAGuard and
+// InertiaTau < 0 disable the guard and smoothing) stay valid; everything
+// else out of range fails. All failures are returned joined, each a
+// *FieldError naming the Config field.
+func (c *Config) Validate() error {
+	var errs []error
+	fail := func(field, format string, args ...any) {
+		errs = append(errs, &FieldError{Field: field, Reason: fmt.Sprintf(format, args...)})
 	}
-	if err := c.Service.Validate(); err != nil {
-		return err
+	if c.Service == nil {
+		fail("Service", "required")
+	} else if err := c.Service.Validate(); err != nil {
+		fail("Service", "%v", err)
 	}
 	if c.Pattern == nil {
-		return fmt.Errorf("engine: Config.Pattern is required")
+		fail("Pattern", "required")
 	}
+	if c.SLA < 0 {
+		fail("SLA", "negative tail-latency target %v", c.SLA)
+	}
+	if c.TickDt < 0 {
+		fail("TickDt", "negative tick %v", c.TickDt)
+	}
+	if c.ControlPeriod < 0 {
+		fail("ControlPeriod", "negative control period %v", c.ControlPeriod)
+	}
+	if c.SamplesPerTick < 0 {
+		fail("SamplesPerTick", "negative sample count %d", c.SamplesPerTick)
+	}
+	if c.MaxBEPerMachine < 0 {
+		fail("MaxBEPerMachine", "negative BE cap %d", c.MaxBEPerMachine)
+	}
+	if c.Warmup < 0 {
+		fail("Warmup", "negative warmup %v", c.Warmup)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		fail("Faults", "%v", err)
+	}
+	return errors.Join(errs...)
+}
+
+// fillDefaults fills the zero-value defaults; Validate has already
+// rejected out-of-range values.
+func (c *Config) fillDefaults() {
 	if c.TickDt <= 0 {
 		c.TickDt = 100 * time.Millisecond
 	}
@@ -123,7 +180,6 @@ func (c *Config) fillDefaults() error {
 	if c.SLAGuard < 0 {
 		c.SLAGuard = 0
 	}
-	return nil
 }
 
 // PodStats is the per-Servpod outcome of a run.
@@ -141,6 +197,9 @@ type PodStats struct {
 	// that finished.
 	Kills       int
 	Completions int
+	// Crashes counts BE jobs lost to injected BE-crash faults
+	// (Config.Faults); always 0 without a fault schedule.
+	Crashes int
 	// SojournSamples holds the pod's sojourn samples when
 	// Config.CollectSamples is set.
 	SojournSamples []float64
@@ -164,6 +223,14 @@ type RunStats struct {
 	MeanP99  float64
 	// Violations counts control ticks whose window p99 exceeded the SLA.
 	Violations int
+	// ViolationSeconds is Violations scaled by the control period: the
+	// virtual seconds spent in SLA violation (the resilience metric).
+	ViolationSeconds float64
+	// DegradedPeriods counts control ticks decided in degraded mode —
+	// the latency measurement was NaN or stale under a
+	// measurement-dropout fault, so the conservative escalation replaced
+	// Algorithm 2. Always 0 without a fault schedule.
+	DegradedPeriods int
 	// E2ESamples holds end-to-end samples when CollectSamples is set.
 	E2ESamples []float64
 	// Series and Actions hold the Fig. 17 timeline when Timeline is set.
@@ -236,6 +303,15 @@ func (r *RunStats) TotalKills() int {
 	return n
 }
 
+// TotalCrashes sums fault-injected BE crashes across pods.
+func (r *RunStats) TotalCrashes() int {
+	n := 0
+	for _, p := range r.PerPod {
+		n += p.Crashes
+	}
+	return n
+}
+
 // podRuntime is the mutable per-machine state.
 type podRuntime struct {
 	comp      *workload.Component
@@ -257,13 +333,22 @@ type podRuntime struct {
 	smoothedInflate float64
 	smoothedCV      float64
 
+	// degraded counts consecutive control periods decided blind (NaN or
+	// stale p99 under a measurement-dropout fault); it drives the
+	// conservative DisallowBEGrowth -> CutBE escalation and resets to 0
+	// the moment a clean measurement returns.
+	degraded int
+
 	// Cached sojourn distribution for the current operating point. The
 	// engine recomputes Station.At — Erlang-C plus a lognormal fit — only
-	// when the (qps, inflate, cvInflate) tuple changes; At is pure, so an
-	// unchanged tuple reuses the identical distribution. Constant-load
-	// runs (every profiling sweep level) pay Erlang-C once per pod.
+	// when the (qps, inflate, cvInflate, muSkew, sigmaSkew) tuple
+	// changes; At is pure, so an unchanged tuple reuses the identical
+	// distribution. Constant-load runs (every profiling sweep level) pay
+	// Erlang-C once per pod. The two skew entries are the profile-drift
+	// fault multipliers and are constant 1 without a fault schedule, so
+	// the cache behaves exactly as the original 3-tuple then.
 	sojourn    queueing.Sojourn
-	sojournKey [3]float64
+	sojournKey [5]float64
 	sojournOK  bool
 	// Log-space lognormal parameters of sojourn, denormalized here so the
 	// per-sample hot path (Engine.sampleFn) is a bare
@@ -292,6 +377,16 @@ type Engine struct {
 	meanP99N     int
 	lastObserve  sim.Time
 
+	// Fault-injection state. lastFaultScan is the previous tick time: the
+	// (lastFaultScan, now] window makes each crash fire exactly once and
+	// each fault edge report exactly once. staleP99 is the last clean
+	// window p99, replayed to the controller under a stale-mode
+	// measurement dropout. Both are untouched when cfg.Faults is nil.
+	lastFaultScan sim.Time
+	staleP99      float64
+	faultEdges    []faults.Edge
+	obsFaults     *obs.Counter
+
 	// Observability (internal/obs). All fields are zero/nil when no bus
 	// was installed at New time, and every use below is a nil check, so an
 	// untraced run pays nothing (BenchmarkObsDisabled pins 0 allocs). The
@@ -309,13 +404,15 @@ type Engine struct {
 // New builds an engine: one machine per Servpod, LC pinned per the
 // component's reservation.
 func New(cfg Config) (*Engine, error) {
-	if err := cfg.fillDefaults(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	cfg.fillDefaults()
 	e := &Engine{
-		cfg:  cfg,
-		tail: metrics.NewTailTracker(3 * time.Second),
-		rng:  sim.NewRNG(cfg.Seed).Fork("engine"),
+		cfg:           cfg,
+		tail:          metrics.NewTailTracker(3 * time.Second),
+		rng:           sim.NewRNG(cfg.Seed).Fork("engine"),
+		lastFaultScan: sim.Time(-1),
 		stats: &RunStats{
 			PerPod: make(map[string]*PodStats),
 			Series: make(map[string]*metrics.Series),
@@ -343,6 +440,7 @@ func New(cfg Config) (*Engine, error) {
 		}
 		e.obsSlackH = bus.Histogram("rhythm_decision_slack", obs.DefBuckets)
 		e.obsP99H = bus.Histogram("rhythm_window_p99_seconds", obs.LatencyBuckets)
+		e.obsFaults = bus.Counter("rhythm_fault_events_total")
 	}
 	for i, comp := range cfg.Service.Components {
 		m := cluster.NewMachine(fmt.Sprintf("m%d", i), cfg.Spec)
@@ -381,7 +479,7 @@ func New(cfg Config) (*Engine, error) {
 }
 
 // beOps are the BE lifecycle transitions the engine reports on the bus.
-var beOps = []string{"launch", "kill", "suspend", "resume", "grow", "cut"}
+var beOps = []string{"launch", "kill", "suspend", "resume", "grow", "cut", "crash"}
 
 // beEvent records one BE lifecycle transition on the bus, with the
 // instance's allocation after the transition. Free when no bus is active.
@@ -438,6 +536,12 @@ func (e *Engine) Run(duration time.Duration) (*RunStats, error) {
 	for now := sim.Time(0); now < end; now = now.Add(e.cfg.TickDt) {
 		clock.RunUntil(now)
 		load := e.cfg.Pattern.Load(now)
+		if e.cfg.Faults != nil {
+			// Load surges multiply the offered pattern; both the tick
+			// and the controller see the surged load, exactly as a
+			// real traffic spike would reach both.
+			load *= e.cfg.Faults.LoadMul(now)
+		}
 		e.tick(now, load)
 		if now >= nextControl {
 			e.controlTick(now, load)
@@ -467,14 +571,45 @@ func (e *Engine) tick(now sim.Time, load float64) {
 	// Per-pod sojourn distributions under current interference, cached
 	// per operating point (see podRuntime.sojourn).
 	for _, p := range e.pods {
+		if e.cfg.Faults != nil && e.cfg.Faults.CrashTriggered(e.lastFaultScan, now, p.comp.Name) {
+			e.crashBE(p, now)
+		}
 		lcDemand := p.comp.DemandAt(load)
 		beDemand := p.beDemand()
 		press := e.cfg.Model.Pressure(p.machine.Spec, lcDemand, beDemand)
+		muSkew, sigmaSkew := 1.0, 1.0
+		freqCap := 0.0
+		if e.cfg.Faults != nil {
+			// Interference storms multiply the pressure vector before
+			// the inflation map, so a storm behaves exactly like that
+			// much more BE demand hammering the machine.
+			if m := e.cfg.Faults.InterferenceMul(now, p.comp.Name); m != 1 {
+				press = press.Scale(m)
+			}
+			freqCap = e.cfg.Faults.FreqCapGHz(now, p.comp.Name)
+			muSkew, sigmaSkew = e.cfg.Faults.Drift(now, p.comp.Name)
+		}
 		inflate, cvInflate := e.cfg.Model.Inflation(p.comp, press)
+		if freqCap > 0 && freqCap < p.machine.Spec.MaxGHz {
+			// A machine slowdown stretches LC service time like any
+			// DVFS step-down would; it rides through the same inertia
+			// as interference, since thermal throttling is not a step
+			// function either.
+			inflate *= interference.FreqInflation(p.comp, freqCap, p.machine.Spec.MaxGHz)
+		}
 		inflate, cvInflate = p.smooth(inflate, cvInflate, dt, e.cfg.InertiaTau)
-		if key := [3]float64{qps, inflate, cvInflate}; !p.sojournOK || key != p.sojournKey {
+		if key := [5]float64{qps, inflate, cvInflate, muSkew, sigmaSkew}; !p.sojournOK || key != p.sojournKey {
 			p.sojourn = p.comp.Station.At(qps, inflate, cvInflate, 1)
 			p.sjMu, p.sjSigma = p.sojourn.LogParams()
+			// Profile drift skews the fitted lognormal away from what
+			// was profiled: the mean by muSkew (an additive log-space
+			// shift), the log-space sigma by sigmaSkew.
+			if muSkew != 1 {
+				p.sjMu += math.Log(muSkew)
+			}
+			if sigmaSkew != 1 {
+				p.sjSigma *= sigmaSkew
+			}
 			p.sojournKey, p.sojournOK = key, true
 		}
 		sj := p.sojourn
@@ -501,7 +636,13 @@ func (e *Engine) tick(now sim.Time, load float64) {
 			}
 			sat = minf(sat, avail/beDemand[cluster.ResMemBW])
 		}
-		freqScale := p.agent.BEFrequency() / p.machine.Spec.MaxGHz
+		beFreq := p.agent.BEFrequency()
+		if freqCap > 0 && freqCap < beFreq {
+			// A slowed machine caps BE clocks too, below whatever the
+			// frequency subcontroller already granted.
+			beFreq = freqCap
+		}
+		freqScale := beFreq / p.machine.Spec.MaxGHz
 		beRate := 0.0
 		for _, in := range p.instances {
 			alloc := p.machine.Alloc(cluster.Owner{Kind: cluster.OwnerBE, Name: in.ID})
@@ -557,7 +698,55 @@ func (e *Engine) tick(now sim.Time, load float64) {
 	e.obsTicks.Inc()
 	if e.obsScope.Enabled() {
 		e.obsScope.Tick(int64(now), int64(dt), load, qps, e.cfg.SamplesPerTick)
+		if e.cfg.Faults != nil {
+			e.emitFaultEdges(now)
+		}
 	}
+	e.lastFaultScan = now
+}
+
+// emitFaultEdges reports fault activations and recoveries in the tick's
+// (lastFaultScan, now] window on the bus. Only called with a bus
+// installed; untraced runs never scan.
+func (e *Engine) emitFaultEdges(now sim.Time) {
+	e.faultEdges = e.cfg.Faults.EdgesIn(e.faultEdges[:0], e.lastFaultScan, now)
+	for _, edge := range e.faultEdges {
+		ev := edge.Event
+		op := "start"
+		if !edge.Start {
+			op = "end"
+		}
+		mag := ev.Magnitude
+		detail := ""
+		switch ev.Kind {
+		case faults.MachineSlowdown:
+			mag = ev.FreqGHz
+		case faults.ProfileDrift:
+			mag = ev.MuSkew
+		case faults.BECrash:
+			detail = "restart_delay=" + ev.RestartDelay.String()
+		case faults.MeasurementDropout:
+			detail = "mode=" + string(ev.Mode)
+		}
+		e.obsScope.Fault(int64(now), ev.Pod, string(ev.Kind), op, mag, detail)
+		e.obsFaults.Inc()
+	}
+}
+
+// crashBE is the BE-crash fault: every instance on the machine dies at
+// once (unlike StopBE, these count as crashes, not policy kills); the
+// schedule's restart delay then blocks launch until it expires.
+func (e *Engine) crashBE(p *podRuntime, now sim.Time) {
+	for _, in := range p.instances {
+		if in.State == bejobs.Running || in.State == bejobs.Suspended {
+			in.State = bejobs.Killed
+			p.stats.Crashes++
+		}
+		p.agent.KillBE(in.ID)
+		e.beEvent(now, p, in.ID, "crash")
+	}
+	p.instances = p.instances[:0]
+	p.suspended = false
 }
 
 // smooth applies the first-order inertia of Config.InertiaTau to the
@@ -594,34 +783,76 @@ func (p *podRuntime) runningBEAlloc() cluster.Alloc {
 // controlTick runs the top controller and the four subcontrollers on every
 // machine (§3.5.2).
 func (e *Engine) controlTick(now sim.Time, load float64) {
-	p99 := e.tail.P99()
+	// truthP99 is what the latency tracker actually measured; p99 is what
+	// the controller gets to see. They differ only under a
+	// measurement-dropout fault, which poisons the controller's view (NaN
+	// or a stale replay) while the run statistics stay honest.
+	truthP99 := e.tail.P99()
+	p99 := truthP99
+	degraded := false
+	degradedCause := ""
+	if e.cfg.Faults != nil {
+		if mode, ok := e.cfg.Faults.Dropout(now); ok {
+			degraded = true
+			if mode == faults.DropNaN {
+				p99 = math.NaN()
+				degradedCause = "p99 NaN"
+			} else {
+				p99 = e.staleP99
+				degradedCause = "p99 stale"
+			}
+		} else {
+			e.staleP99 = truthP99
+		}
+	}
 	slack := 1.0
 	if e.cfg.SLA > 0 {
 		guarded := e.cfg.SLA * (1 - e.cfg.SLAGuard)
 		slack = (guarded - p99) / guarded
 	}
 	if now >= sim.Time(0).Add(e.cfg.Warmup) {
-		if e.cfg.SLA > 0 && p99 > e.cfg.SLA {
+		if e.cfg.SLA > 0 && truthP99 > e.cfg.SLA {
 			e.stats.Violations++
+			e.stats.ViolationSeconds += e.cfg.ControlPeriod.Seconds()
 		}
 		// Time-averaged window p99.
-		e.meanP99Accum += p99
+		e.meanP99Accum += truthP99
 		e.meanP99N++
 		e.stats.MeanP99 = e.meanP99Accum / float64(e.meanP99N)
 	}
+	if degraded {
+		e.stats.DegradedPeriods++
+	}
 
-	e.obsSlackH.Observe(slack)
-	e.obsP99H.Observe(p99)
+	if !math.IsNaN(slack) {
+		e.obsSlackH.Observe(slack)
+	}
+	if !math.IsNaN(p99) {
+		e.obsP99H.Observe(p99)
+	}
+	hasBE := e.cfg.Policy != nil && len(e.cfg.BETypes) > 0
 	for _, p := range e.pods {
 		var act controller.Action
-		if e.cfg.Policy == nil || len(e.cfg.BETypes) == 0 {
+		switch {
+		case !hasBE:
 			act = controller.SuspendBE
-		} else {
+		case degraded:
+			// The measurement pipeline is down: no action may derive
+			// from the NaN/stale slack. Escalate conservatively with
+			// the blindness count instead (DisallowBEGrowth, then
+			// CutBE), and recover the moment measurements return.
+			p.degraded++
+			act = controller.Degraded(p.degraded)
+		default:
+			p.degraded = 0
 			act = e.cfg.Policy.Decide(p.comp.Name, load, slack)
 		}
 		if e.obsScope.Enabled() {
 			reason := "no BE policy"
-			if e.cfg.Policy != nil && len(e.cfg.BETypes) > 0 {
+			switch {
+			case hasBE && degraded:
+				reason = controller.DegradedReason(p.degraded, degradedCause)
+			case hasBE:
 				if ex, ok := e.cfg.Policy.(controller.Explainer); ok {
 					_, reason = ex.Explain(p.comp.Name, load, slack)
 				} else {
@@ -631,10 +862,17 @@ func (e *Engine) controlTick(now sim.Time, load float64) {
 			e.obsScope.Decision(int64(now), p.comp.Name, act.String(), load, slack, p99, reason)
 		}
 		e.obsDecisions[act].Inc()
-		e.apply(p, act, now, load, slack)
+		// A degraded period hands apply a slack of 0 — the most
+		// conservative in-band value — so CutBE severity and the
+		// subcontrollers never see NaN or a stale number.
+		applySlack := slack
+		if degraded {
+			applySlack = 0
+		}
+		e.apply(p, act, now, load, applySlack)
 		if e.cfg.Timeline {
 			e.stats.Actions = append(e.stats.Actions, ActionEvent{At: now, Pod: p.comp.Name, Action: act})
-			e.record(now, p, load, slack)
+			e.record(now, p, load, applySlack)
 		}
 	}
 }
@@ -745,6 +983,9 @@ func (e *Engine) resume(p *podRuntime, now sim.Time) {
 
 // launch admits one new BE instance with the §3.5.2 starting slice.
 func (e *Engine) launch(p *podRuntime, now sim.Time) {
+	if e.cfg.Faults != nil && e.cfg.Faults.CrashBlocked(now, p.comp.Name) {
+		return // crash restart delay: the BE runtime is still coming back
+	}
 	ty := e.cfg.BETypes[p.beSeq%len(e.cfg.BETypes)]
 	id := fmt.Sprintf("%s-%s-%d", p.comp.Name, ty, p.beSeq)
 	if err := p.agent.LaunchBE(id); err != nil {

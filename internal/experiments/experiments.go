@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"rhythm/internal/core"
+	"rhythm/internal/faults"
 	"rhythm/internal/obs"
 	"rhythm/internal/profiler"
 	"rhythm/internal/sim"
@@ -99,6 +100,12 @@ type Options struct {
 	// sweeps (0 = runtime.NumCPU()). Jobs affects wall-clock time only:
 	// every table is byte-identical for every worker count.
 	Jobs int
+	// Faults injects a deterministic fault schedule (internal/faults)
+	// into every co-location run the experiments perform — the CLI's
+	// -faults flag. Nil (the default) leaves every experiment bit-frozen
+	// on its golden output; setting it deliberately changes the tables
+	// to show the system under the configured storm.
+	Faults *faults.Schedule
 }
 
 func (o Options) withDefaults() Options {
@@ -228,16 +235,46 @@ type Experiment struct {
 	Run   Runner
 }
 
-var registry = map[string]Experiment{}
+var (
+	registry = map[string]Experiment{}
+	// scenarios marks registry entries that are runnable on demand but
+	// excluded from IDs() — and therefore from `run all` and the golden
+	// stdout — because their tables are not part of the paper's pinned
+	// evaluation (the resilience storms).
+	scenarios = map[string]bool{}
+)
 
 func register(id, title string, run Runner) {
 	registry[id] = Experiment{ID: id, Title: title, Run: run}
 }
 
-// IDs returns the registered experiment identifiers, sorted.
+// registerScenario registers an on-demand scenario experiment: Get and
+// Run find it by ID, but IDs()/`run all` skip it so the golden evaluation
+// output stays frozen.
+func registerScenario(id, title string, run Runner) {
+	register(id, title, run)
+	scenarios[id] = true
+}
+
+// IDs returns the registered paper-evaluation experiment identifiers,
+// sorted. Scenario experiments (ScenarioIDs) are excluded: `run all`
+// expands to exactly this list.
 func IDs() []string {
 	out := make([]string, 0, len(registry))
 	for id := range registry {
+		if !scenarios[id] {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ScenarioIDs returns the on-demand scenario experiment identifiers,
+// sorted.
+func ScenarioIDs() []string {
+	out := make([]string, 0, len(scenarios))
+	for id := range scenarios {
 		out = append(out, id)
 	}
 	sort.Strings(out)
@@ -249,7 +286,7 @@ func Get(id string) (Experiment, error) {
 	e, ok := registry[id]
 	if !ok {
 		return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (have: %s)",
-			id, strings.Join(IDs(), ", "))
+			id, strings.Join(append(IDs(), ScenarioIDs()...), ", "))
 	}
 	return e, nil
 }

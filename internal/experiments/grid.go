@@ -86,6 +86,7 @@ func (c *Context) gridRun(key gridKey) (*core.Comparison, error) {
 			Duration: dur,
 			Warmup:   warm,
 			Seed:     c.Opts.Seed ^ hash(string(key.be)+key.service) ^ uint64(key.load*1000),
+			Faults:   c.Opts.Faults,
 		})
 	})
 	return e.cmp, e.err

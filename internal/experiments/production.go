@@ -65,6 +65,7 @@ func fig15(ctx *Context) (*Table, error) {
 				Duration: duration,
 				Warmup:   warmup,
 				Seed:     ctx.Opts.Seed ^ hash(name+string(be)+"fig15"),
+				Faults:   ctx.Opts.Faults,
 			})
 			if err != nil {
 				return nil, err
@@ -134,6 +135,7 @@ func fig16(ctx *Context) (*Table, error) {
 				Duration: dur,
 				Warmup:   warm,
 				Seed:     ctx.Opts.Seed ^ hash("fig16"+string(be)) ^ uint64(load*1000),
+				Faults:   ctx.Opts.Faults,
 			}
 			cmp, err := sys.Compare(cfg)
 			if err != nil {

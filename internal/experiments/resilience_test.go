@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"rhythm/internal/sim"
+)
+
+// TestResilienceDeterministicAcrossJobs pins the tentpole determinism
+// contract for the fault-storm scenario: the resilience table must be
+// byte-identical on one worker and on four, and across repeats — fault
+// timing rides its own RNG substreams, never the worker schedule.
+func TestResilienceDeterministicAcrossJobs(t *testing.T) {
+	if testing.Short() || sim.RaceEnabled {
+		t.Skip("six fault-storm runs are too heavy for -short/-race")
+	}
+	render := func(jobs int) string {
+		ctx := NewContext(Options{Quick: true, Seed: 2020, Jobs: jobs})
+		tab, err := ctx.Run("resilience")
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		return tab.String()
+	}
+	serial := render(1)
+	if got := render(4); got != serial {
+		t.Errorf("jobs=4 table differs from serial\nserial:\n%s\njobs=4:\n%s", serial, got)
+	}
+	if got := render(1); got != serial {
+		t.Error("repeated serial runs diverge")
+	}
+	if !strings.Contains(serial, "chaos") || !strings.Contains(serial, "Heracles") {
+		t.Fatalf("table missing expected rows:\n%s", serial)
+	}
+}
+
+// TestResilienceExcludedFromRunAll: the scenario is registered (Get
+// resolves it) but the paper registry — and therefore `run all` and the
+// golden stdout — does not include it.
+func TestResilienceExcludedFromRunAll(t *testing.T) {
+	if _, err := Get("resilience"); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range IDs() {
+		if id == "resilience" {
+			t.Fatal("resilience leaked into IDs()")
+		}
+	}
+	found := false
+	for _, id := range ScenarioIDs() {
+		if id == "resilience" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("resilience missing from ScenarioIDs(): %v", ScenarioIDs())
+	}
+}

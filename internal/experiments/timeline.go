@@ -32,6 +32,7 @@ func fig17(ctx *Context) (*Table, error) {
 		Warmup:   warmup,
 		Seed:     ctx.Opts.Seed + 17,
 		Timeline: true,
+		Faults:   ctx.Opts.Faults,
 	})
 	if err != nil {
 		return nil, err
@@ -165,12 +166,14 @@ func (c *Context) runThresholdSweep() (slack, load []sweepPoint, err error) {
 		if err != nil {
 			return sweepPoint{}, err
 		}
-		st, err := sys.RunWith(pol, core.RunConfig{
+		st, err := sys.Run(core.RunConfig{
 			Pattern:  pattern,
 			BETypes:  []bejobs.Type{bejobs.Wordcount},
 			Duration: duration,
 			Warmup:   warmup,
 			Seed:     c.Opts.Seed + 4242,
+			Policy:   pol,
+			Faults:   c.Opts.Faults,
 		})
 		if err != nil {
 			return sweepPoint{}, err

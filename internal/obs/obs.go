@@ -47,7 +47,8 @@ type Kind uint8
 // simulation step; KindDecision is one Algorithm 2 controller decision;
 // KindBE is a BE-instance lifecycle transition (launch/kill/suspend/
 // resume/grow/cut); KindCache is a profile-cache lookup; KindPool is a
-// worker-pool dispatch; KindExperiment brackets one registry experiment.
+// worker-pool dispatch; KindExperiment brackets one registry experiment;
+// KindFault is a fault-injection activation or recovery (internal/faults).
 const (
 	KindRun Kind = iota + 1
 	KindTick
@@ -56,6 +57,7 @@ const (
 	KindCache
 	KindPool
 	KindExperiment
+	KindFault
 
 	kindMax
 )
@@ -77,6 +79,8 @@ func (k Kind) String() string {
 		return "pool"
 	case KindExperiment:
 		return "experiment"
+	case KindFault:
+		return "fault"
 	default:
 		return "unknown"
 	}
@@ -309,6 +313,21 @@ func (s Scope) Experiment(id, op string) {
 		return
 	}
 	s.bus.publish(Event{Kind: KindExperiment, At: NoTime, Scope: s.label, ID: id, Op: op})
+}
+
+// Fault records a fault-injection edge: kind names the fault class
+// (internal/faults), op is "start" or "end", pod the targeted Servpod
+// ("" = service-wide), magnitude the fault's primary parameter (load or
+// pressure multiplier, frequency cap, mu skew), and reason any extra
+// detail (dropout mode, restart delay).
+func (s Scope) Fault(atNanos int64, pod, kind, op string, magnitude float64, reason string) {
+	if s.bus == nil {
+		return
+	}
+	s.bus.publish(Event{
+		Kind: KindFault, At: atNanos, Scope: s.label,
+		Pod: pod, ID: kind, Op: op, Load: magnitude, Reason: reason,
+	})
 }
 
 // ---------------------------------------------------------------------------

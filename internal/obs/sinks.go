@@ -95,6 +95,13 @@ func (s *JSONLSink) Emit(ev *Event) {
 	case KindExperiment:
 		b = appendStr(b, "id", ev.ID)
 		b = appendStr(b, "phase", ev.Op)
+	case KindFault:
+		b = appendStr(b, "fault", ev.ID)
+		b = appendStr(b, "phase", ev.Op)
+		b = appendStr(b, "pod", ev.Pod)
+		b = append(b, `,"magnitude":`...)
+		b = appendFloat(b, ev.Load)
+		b = appendStr(b, "detail", ev.Reason)
 	}
 	b = append(b, '}', '\n')
 	s.buf = b
@@ -136,8 +143,14 @@ func appendQuoted(b []byte, s string) []byte {
 }
 
 // appendFloat appends v in Go's shortest-roundtrip decimal form — the same
-// deterministic rendering for a given bit pattern on every platform.
+// deterministic rendering for a given bit pattern on every platform. NaN
+// and the infinities (possible under measurement-dropout faults: a blind
+// controller's slack is NaN) render as null, since bare NaN/Inf tokens are
+// not valid JSON.
 func appendFloat(b []byte, v float64) []byte {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return append(b, "null"...)
+	}
 	return strconv.AppendFloat(b, v, 'g', -1, 64)
 }
 
@@ -248,6 +261,8 @@ func (s *ChromeSink) Emit(ev *Event) {
 		name, cat = "run:"+ev.Op, "run"
 	case KindExperiment:
 		name, cat = "experiment:"+ev.Op, "experiment"
+	case KindFault:
+		name, cat = "fault:"+ev.ID+":"+ev.Op, "fault"
 	default:
 		name, cat = ev.Kind.String(), "misc"
 	}
@@ -315,6 +330,13 @@ func (s *ChromeSink) Emit(ev *Event) {
 	case KindExperiment:
 		b = append(b, `"id":`...)
 		b = appendQuoted(b, ev.ID)
+	case KindFault:
+		b = append(b, `"magnitude":`...)
+		b = appendFloat(b, ev.Load)
+		if ev.Reason != "" {
+			b = append(b, `,"detail":`...)
+			b = appendQuoted(b, ev.Reason)
+		}
 	}
 	b = append(b, '}', '}')
 	s.buf = b

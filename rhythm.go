@@ -30,6 +30,7 @@
 package rhythm
 
 import (
+	"io"
 	"time"
 
 	"rhythm/internal/bejobs"
@@ -37,7 +38,9 @@ import (
 	"rhythm/internal/core"
 	"rhythm/internal/engine"
 	"rhythm/internal/experiments"
+	"rhythm/internal/faults"
 	"rhythm/internal/loadgen"
+	"rhythm/internal/obs"
 	"rhythm/internal/profiler"
 	"rhythm/internal/workload"
 )
@@ -84,6 +87,31 @@ type (
 	ExperimentContext = experiments.Context
 	// ExperimentResult is one experiment's outcome in a RunAll batch.
 	ExperimentResult = experiments.Result
+	// ProfileOptions configures the offline load sweep (Options.Profile).
+	ProfileOptions = profiler.Options
+	// SlackOptions configures the Algorithm 1 slacklimit search
+	// (Options.Slack).
+	SlackOptions = profiler.SlackOptions
+	// Policy decides per-Servpod actions each control period
+	// (RunConfig.Policy accepts one, or the PolicyRhythm / PolicyHeracles /
+	// PolicyNone selectors).
+	Policy = controller.Policy
+	// Heracles is the §5.1 uniform-threshold baseline controller.
+	Heracles = controller.Heracles
+	// FaultSchedule is a validated, deterministic fault-injection
+	// schedule (RunConfig.Faults / ExperimentOptions.Faults).
+	FaultSchedule = faults.Schedule
+	// FaultEvent is one typed fault in a schedule.
+	FaultEvent = faults.Event
+	// FaultKind names a fault type (load surge, interference storm, ...).
+	FaultKind = faults.Kind
+	// DropoutMode selects what a blinded controller sees during a
+	// measurement dropout: NaN or a stale replay.
+	DropoutMode = faults.DropoutMode
+	// Bus is the observability event bus (decision traces + metrics).
+	Bus = obs.Bus
+	// Sink consumes observability events (NewJSONLSink, NewChromeSink).
+	Sink = obs.Sink
 )
 
 // The seven BE job types of Table 1.
@@ -96,6 +124,79 @@ const (
 	ImageClassify = bejobs.ImageClassify
 	LSTM          = bejobs.LSTM
 )
+
+// The top-controller action vocabulary (Algorithm 2), most to least
+// conservative.
+const (
+	StopBE           = controller.StopBE
+	SuspendBE        = controller.SuspendBE
+	CutBE            = controller.CutBE
+	DisallowBEGrowth = controller.DisallowBEGrowth
+	AllowBEGrowth    = controller.AllowBEGrowth
+)
+
+// RunConfig.Policy selectors: the system's own derived policy (also the
+// nil default), the Heracles baseline, or no BE jobs at all.
+var (
+	PolicyRhythm   = core.PolicyRhythm
+	PolicyHeracles = core.PolicyHeracles
+	PolicyNone     = core.PolicyNone
+)
+
+// The fault kinds a FaultSchedule can carry.
+const (
+	FaultLoadSurge          = faults.LoadSurge
+	FaultInterferenceStorm  = faults.InterferenceStorm
+	FaultMachineSlowdown    = faults.MachineSlowdown
+	FaultBECrash            = faults.BECrash
+	FaultProfileDrift       = faults.ProfileDrift
+	FaultMeasurementDropout = faults.MeasurementDropout
+
+	// Measurement-dropout flavors: the controller sees NaN, or a stale
+	// replay of the last healthy p99.
+	DropNaN   = faults.DropNaN
+	DropStale = faults.DropStale
+)
+
+// NewHeracles returns the uniform-threshold baseline controller with the
+// paper's default thresholds (tune via its Uniform field).
+func NewHeracles() *Heracles { return controller.NewHeracles() }
+
+// FaultPresets lists the canned fault-storm names accepted by
+// FaultPreset and the CLI's -faults flag.
+func FaultPresets() []string { return faults.Presets() }
+
+// FaultPreset builds a canned storm whose event timing derives from its
+// own substream of seed, placed across span (<= 0 uses the default
+// span). The same (name, seed, span) always yields the same schedule.
+func FaultPreset(name string, seed uint64, span time.Duration) (*FaultSchedule, error) {
+	return faults.Preset(name, seed, span)
+}
+
+// LoadFaultSchedule reads and validates a JSON fault-schedule file (the
+// format the CLI's -faults flag accepts).
+func LoadFaultSchedule(path string) (*FaultSchedule, error) { return faults.Load(path) }
+
+// NewBus returns an observability bus fanning out to the given sinks.
+func NewBus(sinks ...Sink) *Bus { return obs.NewBus(sinks...) }
+
+// NewJSONLSink writes one JSON object per event.
+func NewJSONLSink(w io.Writer) Sink { return obs.NewJSONLSink(w) }
+
+// NewChromeSink writes Chrome trace_event JSON for chrome://tracing and
+// ui.perfetto.dev.
+func NewChromeSink(w io.Writer) Sink { return obs.NewChromeSink(w) }
+
+// InstallBus makes bus the process-wide observability bus; every engine
+// tick, controller decision and fault event flows to its sinks until
+// UninstallBus. Tracing never changes run results.
+func InstallBus(bus *Bus) { obs.Install(bus) }
+
+// UninstallBus detaches the process-wide bus (runs stop emitting).
+func UninstallBus() { obs.Uninstall() }
+
+// ActiveBus returns the installed bus, or nil.
+func ActiveBus() *Bus { return obs.Active() }
 
 // Services returns the six Table 1 LC workloads.
 func Services() []*ServiceSpec { return workload.Services() }
@@ -123,6 +224,10 @@ func Improvement(rhythm, heracles float64) float64 { return core.Improvement(rhy
 
 // Experiments lists the registered paper-reproduction experiment IDs.
 func Experiments() []string { return experiments.IDs() }
+
+// ScenarioExperiments lists the on-demand scenario experiment IDs (for
+// example "resilience") that run by ID but are excluded from `run all`.
+func ScenarioExperiments() []string { return experiments.ScenarioIDs() }
 
 // NewExperiments returns a context for running paper experiments.
 func NewExperiments(opts ExperimentOptions) *ExperimentContext {
