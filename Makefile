@@ -14,7 +14,7 @@ GO ?= go
 # CI always has network and runs it for real.
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: check fmt vet build test exact race staticcheck bench bench-tables bench-compare golden golden-update
+.PHONY: check fmt vet build test exact race staticcheck bench bench-tables bench-compare golden golden-update scenario-lint
 
 check: fmt vet build exact race staticcheck
 
@@ -78,6 +78,13 @@ bench-compare:
 # per-arch assembly); regenerate on other architectures before comparing.
 golden:
 	$(GO) run ./cmd/rhythm -quick -seed 2020 -jobs 1 run fig2 fig7 | sha256sum -c GOLDEN.sha256
+
+# scenario-lint pushes every shipped workload-spec file through the real
+# loader (parse, strict decode, full validation — SCENARIOS.md): a spec
+# field renamed without updating the examples, or an example edited into
+# invalidity, fails here in under a second.
+scenario-lint:
+	$(GO) run ./cmd/rhythm scenario -validate examples/scenarios/*.json examples/scenarios/*.yaml
 
 # golden-update re-pins GOLDEN.sha256 after an INTENTIONAL output change
 # (new experiment content, a deliberate model change). Never run it to

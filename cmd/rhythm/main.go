@@ -9,6 +9,8 @@
 //	rhythm trace <experiment>       # replay one experiment with decision traces
 //	rhythm profile <service>        # offline profiling of one LC service
 //	rhythm catalog                  # Table 1 workloads and BE jobs
+//	rhythm scenario <spec-file>     # run a workload-spec scenario (SCENARIOS.md)
+//	rhythm scenario -validate <spec-file>...  # check spec files end to end
 //
 // Flags:
 //
@@ -33,6 +35,10 @@
 //	              a canned preset (surges, storm, chaos) or a JSON
 //	              schedule file. Unset (the default) leaves every table
 //	              bit-frozen on its golden output.
+//	-scenario F   load the workload-spec file F (SCENARIOS.md format) for
+//	              the on-demand scenario experiment (`run scenario`).
+//	              The scenario family is excluded from `run all`, so the
+//	              golden evaluation output never depends on this flag.
 //
 // Exit codes: 0 on success, 1 when an experiment or profile fails while
 // running, 2 for usage errors (unknown command or experiment id, missing
@@ -45,6 +51,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"rhythm/internal/bejobs"
@@ -76,9 +83,11 @@ func realMain(argv []string, stdout, rawStderr io.Writer) int {
 	var common cliflags.Common
 	var traceFlags cliflags.Trace
 	var faultFlags cliflags.Faults
+	var scenFlags cliflags.Scenario
 	common.Register(fs)
 	traceFlags.Register(fs)
 	faultFlags.Register(fs)
+	scenFlags.Register(fs)
 	fs.Usage = func() { usage(fs, stderr) }
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -97,6 +106,46 @@ func realMain(argv []string, stdout, rawStderr io.Writer) int {
 		}
 	}
 	sched, err := faultFlags.Resolve(common.Seed, 0)
+	if err != nil {
+		fmt.Fprintf(stderr, "rhythm: %v\n", err)
+		return 2
+	}
+
+	// The scenario subcommand: `rhythm scenario -validate <file>...`
+	// checks spec files end to end and exits; `rhythm scenario <file>`
+	// runs the scenario experiment on the file, shorthand for
+	// `rhythm -scenario <file> run scenario`.
+	if args[0] == "scenario" {
+		sub := flag.NewFlagSet("rhythm scenario", flag.ContinueOnError)
+		sub.SetOutput(stderr)
+		validate := sub.Bool("validate", false, "validate the spec files and exit")
+		sub.Usage = func() {
+			fmt.Fprintln(stderr, "usage: rhythm scenario [-validate] <spec-file>...")
+			sub.PrintDefaults()
+		}
+		if err := sub.Parse(args[1:]); err != nil {
+			return 2
+		}
+		files := sub.Args()
+		if *validate {
+			if len(files) == 0 {
+				fmt.Fprintln(stderr, "rhythm: scenario -validate needs at least one spec file")
+				return 2
+			}
+			return validateScenarios(files, common.Seed, stdout, stderr)
+		}
+		switch {
+		case len(files) == 1 && scenFlags.Path == "":
+			scenFlags.Path = files[0]
+		case len(files) == 0 && scenFlags.Path != "":
+			// -scenario carried the file.
+		default:
+			fmt.Fprintln(stderr, "rhythm: scenario needs exactly one spec file (positional or -scenario)")
+			return 2
+		}
+		args = []string{"run", "scenario"}
+	}
+	spec, err := scenFlags.Resolve()
 	if err != nil {
 		fmt.Fprintf(stderr, "rhythm: %v\n", err)
 		return 2
@@ -132,6 +181,7 @@ func realMain(argv []string, stdout, rawStderr io.Writer) int {
 
 	ctx := experiments.NewContext(experiments.Options{
 		Quick: common.Quick, Seed: common.Seed, Jobs: common.Jobs, Faults: sched,
+		Scenario: spec,
 	})
 	switch args[0] {
 	case "list":
@@ -140,6 +190,12 @@ func realMain(argv []string, stdout, rawStderr io.Writer) int {
 		ids := args[1:]
 		if code := validateRunIDs(ids, stderr); code != 0 {
 			return code
+		}
+		for _, id := range ids {
+			if id == "scenario" && spec == nil {
+				fmt.Fprintln(stderr, "rhythm: the scenario experiment needs -scenario <spec-file>")
+				return 2
+			}
 		}
 		err = run(ctx, ids, stdout, stderr)
 	case "trace":
@@ -265,6 +321,8 @@ usage:
   rhythm [flags] trace <experiment>
   rhythm [flags] profile <service>
   rhythm [flags] catalog
+  rhythm [flags] scenario <spec-file>
+  rhythm [flags] scenario -validate <spec-file>...
 
 flags:
 `)
@@ -333,6 +391,49 @@ func printSystem(sys *core.System, stdout io.Writer) {
 		fmt.Fprintf(stdout, "%-16s %12.3f %6.2f %6.2f %8.3f %10.2f %10.3f\n",
 			c.Pod, c.Normalized, c.Rho, c.Alpha, c.Weight, th.Loadlimit, th.Slacklimit)
 	}
+}
+
+// validateScenarios checks each workload-spec file end to end: decode +
+// field validation (workload.LoadSpec), service materialization
+// including the saturation checks (BuildService), the full arrival-mix
+// build including trace-file reads (LoadPattern at the same substream a
+// run would use), and the BE job mix. The per-file report goes to
+// stdout; the exit code is 0 only when every file is valid.
+func validateScenarios(files []string, seed uint64, stdout, stderr io.Writer) int {
+	bad := 0
+	for _, file := range files {
+		err := func() error {
+			spec, err := workload.LoadSpec(file)
+			if err != nil {
+				return err
+			}
+			svc, err := spec.BuildService()
+			if err != nil {
+				return err
+			}
+			if _, err := spec.LoadPattern(sim.SubSeed(seed, "scenario/"+spec.Name)); err != nil {
+				return err
+			}
+			if _, err := spec.BETypes(); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "ok: %s — scenario %q: service %s (%d components), %d client classes, %.0fs run\n",
+				file, spec.Name, svc.Name, len(svc.Components), len(spec.Clients), spec.Run.DurationS)
+			return nil
+		}()
+		if err != nil {
+			bad++
+			fmt.Fprintf(stdout, "invalid: %s\n", file)
+			for _, line := range strings.Split(err.Error(), "\n") {
+				fmt.Fprintf(stdout, "  %s\n", line)
+			}
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(stderr, "rhythm: %d of %d spec files invalid\n", bad, len(files))
+		return 1
+	}
+	return 0
 }
 
 func catalog(stdout io.Writer) error {

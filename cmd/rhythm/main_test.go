@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -83,5 +85,73 @@ func TestListIncludesScenarios(t *testing.T) {
 	}
 	if !strings.Contains(stdout.String(), "resilience") {
 		t.Fatalf("list does not mention resilience:\n%s", stdout.String())
+	}
+}
+
+// TestScenarioSubcommand covers the scenario subcommand's usage surface:
+// validation mode over good and bad files, missing-file usage errors,
+// and the `run scenario` guard when no spec is loaded. No case runs a
+// real experiment.
+func TestScenarioSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	goodBody := `{"version": 1, "name": "cli-test",
+	  "service": {"catalog": "Redis"},
+	  "run": {"baseline_load": 0.5, "duration_s": 20},
+	  "clients": [{"class": "all", "rate_fraction": 1, "arrival": {"process": "constant"}}]}`
+	if err := os.WriteFile(good, []byte(goodBody), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"version": 7, "name": ""}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name     string
+		argv     []string
+		wantCode int
+		wantOut  string // substring expected on stdout
+		wantErr  string // substring expected on stderr
+	}{
+		{"no file", []string{"scenario"}, 2, "", "needs exactly one spec file"},
+		{"two files", []string{"scenario", good, good}, 2, "", "needs exactly one spec file"},
+		{"validate no files", []string{"scenario", "-validate"}, 2, "", "at least one spec file"},
+		{"validate good", []string{"scenario", "-validate", good}, 0, "ok: " + good, ""},
+		{"validate bad", []string{"scenario", "-validate", bad}, 1, "invalid: " + bad, "1 of 1 spec files invalid"},
+		{"validate mixed", []string{"scenario", "-validate", good, bad}, 1, "ok: " + good, "1 of 2 spec files invalid"},
+		{"validate missing file", []string{"scenario", "-validate", filepath.Join(dir, "nope.json")}, 1, "invalid:", ""},
+		{"run scenario without spec", []string{"run", "scenario"}, 2, "", "needs -scenario"},
+		{"bad -scenario flag", []string{"-scenario", bad, "list"}, 2, "", "-scenario:"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := realMain(tc.argv, &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Fatalf("argv %q: exit %d, want %d (stderr: %s)",
+					tc.argv, code, tc.wantCode, stderr.String())
+			}
+			if tc.wantOut != "" && !strings.Contains(stdout.String(), tc.wantOut) {
+				t.Fatalf("argv %q: stdout %q does not contain %q",
+					tc.argv, stdout.String(), tc.wantOut)
+			}
+			if tc.wantErr != "" && !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Fatalf("argv %q: stderr %q does not contain %q",
+					tc.argv, stderr.String(), tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestListIncludesScenarioExperiment: the scenario experiment family is
+// discoverable from `rhythm list` alongside resilience.
+func TestListIncludesScenarioExperiment(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := realMain([]string{"list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("list failed: %s", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "scenario") {
+		t.Fatalf("list does not mention the scenario experiment:\n%s", stdout.String())
 	}
 }

@@ -1,9 +1,9 @@
 // Package cliflags centralizes the flag definitions the rhythm binaries
-// share — -seed, -jobs, -quick, -trace-out, -trace-format, -metrics-out
-// and -faults — so cmd/rhythm, cmd/rhythm-bench and cmd/rhythm-trace
-// default and validate them through one path. Each binary registers only
-// the groups it uses; the defaults and the error messages are identical
-// everywhere, which the cross-binary tests pin.
+// share — -seed, -jobs, -quick, -trace-out, -trace-format, -metrics-out,
+// -faults and -scenario — so cmd/rhythm, cmd/rhythm-bench and
+// cmd/rhythm-trace default and validate them through one path. Each
+// binary registers only the groups it uses; the defaults and the error
+// messages are identical everywhere, which the cross-binary tests pin.
 package cliflags
 
 import (
@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"rhythm/internal/faults"
+	"rhythm/internal/workload"
 )
 
 // DefaultSeed is the seed every tool starts from: the paper's year.
@@ -119,4 +120,30 @@ func (f *Faults) Resolve(seed uint64, span time.Duration) (*faults.Schedule, err
 		return nil, fmt.Errorf("-faults: %w", err)
 	}
 	return sched, nil
+}
+
+// Scenario is the -scenario selector: empty (no scenario), or a path to
+// a workload-spec file (SCENARIOS.md format, .json or .yaml/.yml).
+type Scenario struct {
+	Path string
+}
+
+// Register binds -scenario.
+func (s *Scenario) Register(fs *flag.FlagSet) {
+	fs.StringVar(&s.Path, "scenario", "",
+		"workload-spec file (SCENARIOS.md format) for the scenario experiment")
+}
+
+// Resolve loads and validates the selected spec (nil when the flag is
+// unset). A bad file is a usage error: the spec's joined FieldErrors
+// name every defective field.
+func (s *Scenario) Resolve() (*workload.Spec, error) {
+	if s.Path == "" {
+		return nil, nil
+	}
+	spec, err := workload.LoadSpec(s.Path)
+	if err != nil {
+		return nil, fmt.Errorf("-scenario: %w", err)
+	}
+	return spec, nil
 }

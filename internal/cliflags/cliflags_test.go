@@ -108,3 +108,41 @@ func TestFaultsResolve(t *testing.T) {
 		t.Fatalf("file schedule: %+v", sched)
 	}
 }
+
+// TestScenarioResolve pins the -scenario group: unset resolves to nil,
+// a valid file loads, and a bad file is a "-scenario:"-prefixed usage
+// error carrying the spec's field diagnostics.
+func TestScenarioResolve(t *testing.T) {
+	var s Scenario
+	s.Register(newFS())
+	spec, err := s.Resolve()
+	if err != nil || spec != nil {
+		t.Fatalf("unset -scenario resolved to %v, %v", spec, err)
+	}
+
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	body := `{"version": 1, "name": "cli-test",
+	  "service": {"catalog": "Redis"},
+	  "run": {"baseline_load": 0.5, "duration_s": 20},
+	  "clients": [{"class": "all", "rate_fraction": 1, "arrival": {"process": "constant"}}]}`
+	if err := os.WriteFile(good, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s.Path = good
+	spec, err = s.Resolve()
+	if err != nil || spec == nil || spec.Name != "cli-test" {
+		t.Fatalf("good spec resolved to %v, %v", spec, err)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"version": 7}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s.Path = bad
+	if _, err := s.Resolve(); err == nil ||
+		!strings.Contains(err.Error(), "-scenario:") ||
+		!strings.Contains(err.Error(), "version") {
+		t.Fatalf("bad spec error: %v", err)
+	}
+}

@@ -114,6 +114,9 @@ type RunConfig struct {
 	Seed uint64
 	// Timeline retains the Fig. 17 series.
 	Timeline bool
+	// CollectSamples retains per-pod sojourn and end-to-end latency
+	// samples in the run stats (per-class SLO accounting, profiling).
+	CollectSamples bool
 	// Policy selects who controls the run: nil or PolicyRhythm uses the
 	// system's own derived per-Servpod policy, PolicyHeracles the §5.1
 	// uniform baseline, PolicyNone no BE jobs at all (solo reference);
@@ -166,15 +169,16 @@ func (s *System) Run(cfg RunConfig) (*engine.RunStats, error) {
 		pol, betypes = nil, nil
 	}
 	e, err := engine.New(engine.Config{
-		Service:  s.Service,
-		Pattern:  cfg.Pattern,
-		SLA:      s.SLA,
-		Policy:   pol,
-		BETypes:  betypes,
-		Seed:     cfg.Seed,
-		Warmup:   cfg.Warmup,
-		Timeline: cfg.Timeline,
-		Faults:   cfg.Faults,
+		Service:        s.Service,
+		Pattern:        cfg.Pattern,
+		SLA:            s.SLA,
+		Policy:         pol,
+		BETypes:        betypes,
+		Seed:           cfg.Seed,
+		Warmup:         cfg.Warmup,
+		Timeline:       cfg.Timeline,
+		CollectSamples: cfg.CollectSamples,
+		Faults:         cfg.Faults,
 	})
 	if err != nil {
 		return nil, err

@@ -106,6 +106,11 @@ type Options struct {
 	// on its golden output; setting it deliberately changes the tables
 	// to show the system under the configured storm.
 	Faults *faults.Schedule
+	// Scenario is the workload spec the on-demand "scenario" experiment
+	// runs (the CLI's -scenario flag). Nil is fine for every other
+	// experiment; the scenario family is excluded from IDs()/`run all`,
+	// so this field never affects the golden evaluation output.
+	Scenario *workload.Spec
 }
 
 func (o Options) withDefaults() Options {

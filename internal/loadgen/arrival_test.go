@@ -1,0 +1,217 @@
+package loadgen
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"rhythm/internal/sim"
+)
+
+func sample(p Pattern, step time.Duration, span time.Duration) []float64 {
+	var out []float64
+	for t := time.Duration(0); t < span; t += step {
+		out = append(out, p.Load(sim.Time(t)))
+	}
+	return out
+}
+
+func TestPoissonBinsDeterministicAndNonNegative(t *testing.T) {
+	p1, err := NewPoissonBins(time.Second, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := NewPoissonBins(time.Second, 50, 7)
+	p3, _ := NewPoissonBins(time.Second, 50, 8)
+	a := sample(p1, 250*time.Millisecond, time.Minute)
+	b := sample(p2, 250*time.Millisecond, time.Minute)
+	c := sample(p3, 250*time.Millisecond, time.Minute)
+	differ := false
+	sum := 0.0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverges at sample %d: %g vs %g", i, a[i], b[i])
+		}
+		if a[i] < 0 || math.IsNaN(a[i]) {
+			t.Fatalf("sample %d = %g", i, a[i])
+		}
+		if a[i] != c[i] {
+			differ = true
+		}
+		sum += a[i]
+	}
+	if !differ {
+		t.Fatal("different seeds produced identical draws")
+	}
+	// The normalized intensity hovers around 1.
+	if mean := sum / float64(len(a)); mean < 0.7 || mean > 1.3 {
+		t.Fatalf("mean intensity %g, want ~1", mean)
+	}
+}
+
+func TestPoissonBinsQueriesAreOrderIndependent(t *testing.T) {
+	// Each bin draws from its own counter-keyed substream, so reading
+	// t=50s before t=1s yields the same values as reading in order —
+	// the property that makes -jobs counts interchangeable.
+	p, err := NewPoissonBins(time.Second, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forward := sample(p, time.Second, time.Minute)
+	for i := len(forward) - 1; i >= 0; i-- {
+		if got := p.Load(sim.Time(time.Duration(i) * time.Second)); got != forward[i] {
+			t.Fatalf("reverse read at bin %d = %g, want %g", i, got, forward[i])
+		}
+	}
+}
+
+func TestPoissonBinsConcurrentReaders(t *testing.T) {
+	p, err := NewPoissonBins(500*time.Millisecond, 30, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sample(p, 100*time.Millisecond, 30*time.Second)
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, w := range want {
+				if got := p.Load(sim.Time(time.Duration(i) * 100 * time.Millisecond)); got != w {
+					errs <- "concurrent read diverged"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, bad := <-errs; bad {
+		t.Fatal(msg)
+	}
+}
+
+func TestPoissonBinsValidation(t *testing.T) {
+	if _, err := NewPoissonBins(0, 10, 1); err == nil {
+		t.Fatal("zero bin accepted")
+	}
+	if _, err := NewPoissonBins(time.Second, 0, 1); err == nil {
+		t.Fatal("zero mean accepted")
+	}
+	if _, err := NewPoissonBins(time.Second, math.Inf(1), 1); err == nil {
+		t.Fatal("infinite mean accepted")
+	}
+}
+
+func TestMMPP2TwoLevelsAndDeterminism(t *testing.T) {
+	const horizon = 2 * time.Minute
+	p1, err := NewMMPP2(0.2, 2.5, 20*time.Second, 5*time.Second, horizon, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := NewMMPP2(0.2, 2.5, 20*time.Second, 5*time.Second, horizon, 9)
+	sawQuiet, sawBurst := false, false
+	for t0 := time.Duration(0); t0 < horizon; t0 += 100 * time.Millisecond {
+		v := p1.Load(sim.Time(t0))
+		if v != p2.Load(sim.Time(t0)) {
+			t.Fatalf("same seed diverges at %v", t0)
+		}
+		switch v {
+		case 0.2:
+			sawQuiet = true
+		case 2.5:
+			sawBurst = true
+		default:
+			t.Fatalf("Load(%v) = %g, want 0.2 or 2.5", t0, v)
+		}
+	}
+	if !sawQuiet || !sawBurst {
+		t.Fatalf("expected both states over %v (quiet %v, burst %v)", horizon, sawQuiet, sawBurst)
+	}
+	// Beyond the horizon the process wraps rather than dying.
+	if v := p1.Load(sim.Time(horizon + 30*time.Second)); v != 0.2 && v != 2.5 {
+		t.Fatalf("wrapped Load = %g", v)
+	}
+}
+
+func TestMMPP2Validation(t *testing.T) {
+	h := time.Minute
+	if _, err := NewMMPP2(-1, 2, time.Second, time.Second, h, 1); err == nil {
+		t.Fatal("negative quiet accepted")
+	}
+	if _, err := NewMMPP2(2, 1, time.Second, time.Second, h, 1); err == nil {
+		t.Fatal("burst <= quiet accepted")
+	}
+	if _, err := NewMMPP2(0, 2, 0, time.Second, h, 1); err == nil {
+		t.Fatal("zero quiet holding time accepted")
+	}
+	if _, err := NewMMPP2(0, 2, time.Second, time.Second, 0, 1); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+}
+
+func TestMultiDiurnalBoundsAndDeterminism(t *testing.T) {
+	comps := []PeriodComponent{
+		{Period: 2 * time.Minute, Weight: 1},
+		{Period: 30 * time.Second, Weight: 0.4, Phase: 0.5},
+	}
+	p1, err := NewMultiDiurnal(comps, 0.3, 1.5, 0.2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := NewMultiDiurnal(comps, 0.3, 1.5, 0.2, 5)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for t0 := time.Duration(0); t0 < 4*time.Minute; t0 += 100 * time.Millisecond {
+		v := p1.Load(sim.Time(t0))
+		if v != p2.Load(sim.Time(t0)) {
+			t.Fatalf("same seed diverges at %v", t0)
+		}
+		if v < 0 || math.IsNaN(v) {
+			t.Fatalf("Load(%v) = %g", t0, v)
+		}
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	// The wave plus bounded noise must roughly span [min, max].
+	if lo > 0.7 || hi < 1.0 {
+		t.Fatalf("range [%g, %g] does not look like a wave over [0.3, 1.5]", lo, hi)
+	}
+	if hi > 1.5+0.2*(1.5-0.3)+1e-9 {
+		t.Fatalf("peak %g exceeds max plus noise bound", hi)
+	}
+}
+
+func TestMultiDiurnalValidation(t *testing.T) {
+	one := []PeriodComponent{{Period: time.Minute, Weight: 1}}
+	if _, err := NewMultiDiurnal(nil, 0, 1, 0, 1); err == nil {
+		t.Fatal("empty components accepted")
+	}
+	if _, err := NewMultiDiurnal(one, 1, 1, 0, 1); err == nil {
+		t.Fatal("min == max accepted")
+	}
+	if _, err := NewMultiDiurnal([]PeriodComponent{{Period: 0, Weight: 1}}, 0, 1, 0, 1); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	if _, err := NewMultiDiurnal([]PeriodComponent{{Period: time.Minute, Weight: -1}}, 0, 1, 0, 1); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := NewMultiDiurnal([]PeriodComponent{{Period: time.Minute, Weight: 1, Phase: 1}}, 0, 1, 0, 1); err == nil {
+		t.Fatal("phase 1 accepted")
+	}
+}
+
+func TestMixWeightedSum(t *testing.T) {
+	mix := Mix{
+		{Weight: 0.4, Pattern: Constant(1)},
+		{Weight: 0.2, Pattern: Constant(2)},
+	}
+	if got := mix.Load(0); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("Mix.Load = %g, want 0.8", got)
+	}
+	// Negative contributions clamp at zero rather than going negative.
+	empty := Mix{}
+	if got := empty.Load(0); got != 0 {
+		t.Fatalf("empty Mix.Load = %g", got)
+	}
+}

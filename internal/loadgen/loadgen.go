@@ -1,8 +1,19 @@
 // Package loadgen produces the request-load patterns of the evaluation:
 // constant fractions of the maximum load (Fig. 9-14), sweep profiles for
-// offline profiling (§3.2), and a diurnal production trace standing in for
+// offline profiling (§3.2), a diurnal production trace standing in for
 // the ClarkNet web trace of §5.3 (same 24-hour periodicity and burst
-// structure, scaled to the experiment window).
+// structure, scaled to the experiment window), and the arrival processes
+// of the workload-spec scenario layer (PoissonBins, MMPP2, MultiDiurnal,
+// composed per client class with Mix; see arrival.go and SCENARIOS.md).
+//
+// # Determinism and thread safety
+//
+// Every pattern draws randomness only at construction time or from
+// counter-keyed sim.SubSeed substreams recomputed per query; Load never
+// mutates state. All patterns are therefore safe for concurrent readers
+// and byte-identical across -jobs counts and repeat runs at a fixed
+// seed — the repo-wide determinism contract (DESIGN.md "Concurrency &
+// determinism").
 package loadgen
 
 import (

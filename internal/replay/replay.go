@@ -1,0 +1,280 @@
+// Package replay reads recorded traffic traces — CSV or JSONL files of
+// (timestamp, load-or-QPS) samples — and turns them into loadgen.Pattern
+// arrival sources, so a scenario (SCENARIOS.md) can offer real recorded
+// traffic instead of a synthetic process. The file formats are designed
+// for exports from monitoring systems: one sample per line, seconds-based
+// timestamps relative to run start, values either as a load fraction
+// ("load" mode, dimensionless) or as an absolute request rate ("qps"
+// mode, rescaled by the consumer).
+//
+// # Formats
+//
+// CSV: a header line naming the two columns — "t_s,load" or "t_s,qps" —
+// then one "time,value" row per sample. Blank lines and lines starting
+// with '#' are skipped.
+//
+// JSONL: one JSON object per line, {"t_s": 30, "load": 0.8} or
+// {"t_s": 30, "qps": 900}. Every line must use the same value key.
+//
+// # Determinism and thread safety
+//
+// A Trace is plain recorded data: reading one draws no randomness, and
+// the Pattern it yields is a pure interpolation over the immutable sample
+// slice — safe for concurrent readers and byte-identical across -jobs
+// counts by construction. Replayed runs therefore inherit the repo-wide
+// determinism contract with no substream bookkeeping at all.
+package replay
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"rhythm/internal/loadgen"
+	"rhythm/internal/sim"
+)
+
+// Value modes: what a trace's value column measures.
+const (
+	// ModeLoad values are offered-load fractions (or arrival intensities
+	// around 1 when used as a scenario class source).
+	ModeLoad = "load"
+	// ModeQPS values are absolute request rates; the consumer divides by
+	// its own rate scale (Pattern's scale argument).
+	ModeQPS = "qps"
+)
+
+// Interpolation modes for Trace.Pattern.
+const (
+	// InterpStep holds each sample's value until the next sample.
+	InterpStep = "step"
+	// InterpLinear interpolates linearly between samples.
+	InterpLinear = "linear"
+)
+
+// Point is one recorded sample: virtual seconds from run start and the
+// value (load fraction or QPS, per the trace mode).
+type Point struct {
+	T float64
+	V float64
+}
+
+// Trace is a validated, immutable recorded-traffic trace.
+type Trace struct {
+	// Name labels the trace in errors and output (usually the file path).
+	Name string
+	// Mode is ModeLoad or ModeQPS, detected from the file header.
+	Mode string
+	// Points are the samples in non-decreasing time order.
+	Points []Point
+}
+
+// Open reads a trace file, choosing the format by extension: .csv for
+// CSV, .jsonl (or .ndjson) for JSONL.
+func Open(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	defer f.Close()
+	switch ext := strings.ToLower(filepath.Ext(path)); ext {
+	case ".csv":
+		return ReadCSV(path, f)
+	case ".jsonl", ".ndjson":
+		return ReadJSONL(path, f)
+	default:
+		return nil, fmt.Errorf("replay: %s: unknown trace extension %q (want .csv, .jsonl or .ndjson)", path, ext)
+	}
+}
+
+// ReadCSV parses a CSV trace: a "t_s,load" or "t_s,qps" header, then one
+// "time,value" row per line. name labels errors.
+func ReadCSV(name string, r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	tr := &Trace{Name: name}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("replay: %s:%d: want 2 comma-separated fields, got %d", name, lineNo, len(fields))
+		}
+		c0, c1 := strings.TrimSpace(fields[0]), strings.TrimSpace(fields[1])
+		if tr.Mode == "" {
+			// The first data line must be the header naming the columns.
+			if c0 != "t_s" || (c1 != ModeLoad && c1 != ModeQPS) {
+				return nil, fmt.Errorf("replay: %s:%d: want header \"t_s,load\" or \"t_s,qps\", got %q", name, lineNo, line)
+			}
+			tr.Mode = c1
+			continue
+		}
+		t, err := strconv.ParseFloat(c0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("replay: %s:%d: bad time %q: %v", name, lineNo, c0, err)
+		}
+		v, err := strconv.ParseFloat(c1, 64)
+		if err != nil {
+			return nil, fmt.Errorf("replay: %s:%d: bad value %q: %v", name, lineNo, c1, err)
+		}
+		tr.Points = append(tr.Points, Point{T: t, V: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("replay: %s: %w", name, err)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// jsonlPoint is the JSONL line shape; exactly one of Load/QPS is set.
+type jsonlPoint struct {
+	TS   *float64 `json:"t_s"`
+	Load *float64 `json:"load"`
+	QPS  *float64 `json:"qps"`
+}
+
+// ReadJSONL parses a JSONL trace: one {"t_s": ..., "load": ...} or
+// {"t_s": ..., "qps": ...} object per line, all lines in the same mode.
+func ReadJSONL(name string, r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	tr := &Trace{Name: name}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		dec := json.NewDecoder(strings.NewReader(line))
+		dec.DisallowUnknownFields()
+		var p jsonlPoint
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("replay: %s:%d: %v", name, lineNo, err)
+		}
+		if p.TS == nil {
+			return nil, fmt.Errorf("replay: %s:%d: missing \"t_s\"", name, lineNo)
+		}
+		var v float64
+		var mode string
+		switch {
+		case p.Load != nil && p.QPS != nil:
+			return nil, fmt.Errorf("replay: %s:%d: both \"load\" and \"qps\" set", name, lineNo)
+		case p.Load != nil:
+			v, mode = *p.Load, ModeLoad
+		case p.QPS != nil:
+			v, mode = *p.QPS, ModeQPS
+		default:
+			return nil, fmt.Errorf("replay: %s:%d: want a \"load\" or \"qps\" value", name, lineNo)
+		}
+		if tr.Mode == "" {
+			tr.Mode = mode
+		} else if tr.Mode != mode {
+			return nil, fmt.Errorf("replay: %s:%d: mixed %q and %q values in one trace", name, lineNo, tr.Mode, mode)
+		}
+		tr.Points = append(tr.Points, Point{T: *p.TS, V: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("replay: %s: %w", name, err)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// Validate rejects empty traces, out-of-order timestamps and
+// non-finite or negative samples.
+func (tr *Trace) Validate() error {
+	if tr.Mode != ModeLoad && tr.Mode != ModeQPS {
+		return fmt.Errorf("replay: %s: mode must be %q or %q, got %q", tr.Name, ModeLoad, ModeQPS, tr.Mode)
+	}
+	if len(tr.Points) == 0 {
+		return fmt.Errorf("replay: %s: trace has no samples", tr.Name)
+	}
+	for i, p := range tr.Points {
+		if math.IsNaN(p.T) || math.IsInf(p.T, 0) || p.T < 0 {
+			return fmt.Errorf("replay: %s: sample %d: time %g must be finite and >= 0", tr.Name, i, p.T)
+		}
+		if i > 0 && p.T < tr.Points[i-1].T {
+			return fmt.Errorf("replay: %s: sample %d: time %g goes backwards (previous %g)", tr.Name, i, p.T, tr.Points[i-1].T)
+		}
+		if math.IsNaN(p.V) || math.IsInf(p.V, 0) || p.V < 0 {
+			return fmt.Errorf("replay: %s: sample %d: value %g must be finite and >= 0", tr.Name, i, p.V)
+		}
+	}
+	return nil
+}
+
+// Duration returns the time of the last sample.
+func (tr *Trace) Duration() float64 {
+	if len(tr.Points) == 0 {
+		return 0
+	}
+	return tr.Points[len(tr.Points)-1].T
+}
+
+// pattern is the interpolating loadgen.Pattern over a trace.
+type pattern struct {
+	tr     *Trace
+	scale  float64
+	linear bool
+}
+
+// Pattern returns the trace as a load pattern: each sample's value times
+// scale, held (InterpStep) or linearly interpolated (InterpLinear)
+// between samples, clamped to the first value before the trace and the
+// last value after it. For ModeQPS traces the caller passes
+// scale = 1/rateQPS to normalize against its own rate; for ModeLoad
+// traces scale is usually 1.
+func (tr *Trace) Pattern(scale float64, interp string) (loadgen.Pattern, error) {
+	switch interp {
+	case InterpStep, InterpLinear:
+	default:
+		return nil, fmt.Errorf("replay: %s: interp must be %q or %q, got %q", tr.Name, InterpStep, InterpLinear, interp)
+	}
+	if !(scale > 0) || math.IsInf(scale, 0) {
+		return nil, fmt.Errorf("replay: %s: pattern scale must be positive and finite, got %g", tr.Name, scale)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return &pattern{tr: tr, scale: scale, linear: interp == InterpLinear}, nil
+}
+
+// Load returns the interpolated trace value at t. Pure over immutable
+// data; safe for concurrent readers.
+func (p *pattern) Load(t sim.Time) float64 {
+	pts := p.tr.Points
+	ts := t.Seconds()
+	// First sample strictly after ts; pts[i-1] is then the last sample at
+	// or before ts (the one whose value holds at exactly its timestamp —
+	// with duplicate timestamps the later sample wins).
+	i := sort.Search(len(pts), func(k int) bool { return pts[k].T > ts })
+	switch {
+	case i == 0:
+		return pts[0].V * p.scale
+	case i == len(pts):
+		return pts[len(pts)-1].V * p.scale
+	}
+	if !p.linear {
+		return pts[i-1].V * p.scale
+	}
+	a, b := pts[i-1], pts[i]
+	if b.T == a.T {
+		return b.V * p.scale
+	}
+	frac := (ts - a.T) / (b.T - a.T)
+	return (a.V*(1-frac) + b.V*frac) * p.scale
+}

@@ -1,0 +1,231 @@
+package replay
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"rhythm/internal/sim"
+)
+
+func at(t *testing.T, p interface{ Load(sim.Time) float64 }, sec float64) float64 {
+	t.Helper()
+	return p.Load(sim.Time(time.Duration(sec * float64(time.Second))))
+}
+
+func TestReadCSV(t *testing.T) {
+	const src = `# comment
+t_s,load
+
+0,1.0
+10,2.0
+20,0.5
+`
+	tr, err := ReadCSV("test.csv", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Mode != ModeLoad {
+		t.Fatalf("mode = %q, want %q", tr.Mode, ModeLoad)
+	}
+	if len(tr.Points) != 3 {
+		t.Fatalf("got %d points, want 3", len(tr.Points))
+	}
+	if d := tr.Duration(); d != 20 {
+		t.Fatalf("Duration = %g, want 20", d)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"missing header", "0,1.0\n", "want header"},
+		{"bad header mode", "t_s,requests\n0,1\n", "want header"},
+		{"three fields", "t_s,load\n0,1,2\n", "want 2 comma-separated fields"},
+		{"bad time", "t_s,load\nx,1\n", "bad time"},
+		{"bad value", "t_s,load\n0,x\n", "bad value"},
+		{"empty", "t_s,load\n", "no samples"},
+		{"backwards time", "t_s,load\n10,1\n5,1\n", "goes backwards"},
+		{"negative value", "t_s,load\n0,-1\n", "must be finite and >= 0"},
+		{"negative time", "t_s,load\n-1,1\n", "must be finite and >= 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadCSV("bad.csv", strings.NewReader(tc.src))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestReadJSONL(t *testing.T) {
+	const src = `{"t_s": 0, "qps": 100}
+# comment
+{"t_s": 30, "qps": 400}
+{"t_s": 60, "qps": 50}
+`
+	tr, err := ReadJSONL("test.jsonl", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Mode != ModeQPS {
+		t.Fatalf("mode = %q, want %q", tr.Mode, ModeQPS)
+	}
+	if len(tr.Points) != 3 {
+		t.Fatalf("got %d points, want 3", len(tr.Points))
+	}
+	if tr.Points[1].V != 400 {
+		t.Fatalf("point 1 value = %g, want 400", tr.Points[1].V)
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"missing t_s", `{"load": 1}`, `missing "t_s"`},
+		{"no value", `{"t_s": 0}`, `want a "load" or "qps" value`},
+		{"both values", `{"t_s": 0, "load": 1, "qps": 2}`, "both"},
+		{"unknown field", `{"t_s": 0, "load": 1, "extra": 2}`, "unknown field"},
+		{"mixed modes", "{\"t_s\": 0, \"load\": 1}\n{\"t_s\": 1, \"qps\": 2}", "mixed"},
+		{"not json", "hello", "invalid character"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadJSONL("bad.jsonl", strings.NewReader(tc.src))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestOpenDispatchesByExtension(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "a.csv")
+	if err := os.WriteFile(csv, []byte("t_s,load\n0,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jsonl := filepath.Join(dir, "b.jsonl")
+	if err := os.WriteFile(jsonl, []byte(`{"t_s": 0, "qps": 10}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "c.txt")
+	if err := os.WriteFile(bad, []byte("t_s,load\n0,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if tr, err := Open(csv); err != nil || tr.Mode != ModeLoad {
+		t.Fatalf("Open(csv) = %v, %v", tr, err)
+	}
+	if tr, err := Open(jsonl); err != nil || tr.Mode != ModeQPS {
+		t.Fatalf("Open(jsonl) = %v, %v", tr, err)
+	}
+	if _, err := Open(bad); err == nil || !strings.Contains(err.Error(), "unknown trace extension") {
+		t.Fatalf("Open(txt) err = %v, want unknown-extension error", err)
+	}
+	if _, err := Open(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Fatal("Open(missing) succeeded, want error")
+	}
+}
+
+func TestPatternStep(t *testing.T) {
+	tr := &Trace{Name: "t", Mode: ModeLoad, Points: []Point{{0, 1}, {10, 2}, {20, 0.5}}}
+	p, err := tr.Pattern(1, InterpStep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ sec, want float64 }{
+		{0, 1}, {5, 1}, {10, 2}, {15, 2}, {20, 0.5}, {100, 0.5},
+	} {
+		if got := at(t, p, tc.sec); got != tc.want {
+			t.Errorf("step Load(%gs) = %g, want %g", tc.sec, got, tc.want)
+		}
+	}
+}
+
+func TestPatternLinear(t *testing.T) {
+	tr := &Trace{Name: "t", Mode: ModeLoad, Points: []Point{{0, 1}, {10, 2}, {20, 0.5}}}
+	p, err := tr.Pattern(1, InterpLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ sec, want float64 }{
+		{0, 1}, {5, 1.5}, {10, 2}, {15, 1.25}, {20, 0.5}, {100, 0.5},
+	} {
+		if got := at(t, p, tc.sec); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("linear Load(%gs) = %g, want %g", tc.sec, got, tc.want)
+		}
+	}
+}
+
+func TestPatternScaleAndDuplicateTimes(t *testing.T) {
+	// QPS trace: scale = 1/rate normalizes to intensity around 1.
+	tr := &Trace{Name: "t", Mode: ModeQPS, Points: []Point{{0, 100}, {10, 100}, {10, 300}, {20, 300}}}
+	p, err := tr.Pattern(1.0/100, InterpLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := at(t, p, 5); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Load(5s) = %g, want 1", got)
+	}
+	// Duplicate timestamp: the later sample wins at exactly t=10.
+	if got := at(t, p, 10); math.Abs(got-1) > 1e-12 && math.Abs(got-3) > 1e-12 {
+		t.Fatalf("Load(10s) = %g, want 1 or 3 (a defined sample value)", got)
+	}
+	if got := at(t, p, 15); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("Load(15s) = %g, want 3", got)
+	}
+}
+
+func TestPatternErrors(t *testing.T) {
+	tr := &Trace{Name: "t", Mode: ModeLoad, Points: []Point{{0, 1}}}
+	if _, err := tr.Pattern(1, "cubic"); err == nil || !strings.Contains(err.Error(), "interp") {
+		t.Fatalf("bad interp err = %v", err)
+	}
+	if _, err := tr.Pattern(0, InterpStep); err == nil || !strings.Contains(err.Error(), "scale") {
+		t.Fatalf("zero scale err = %v", err)
+	}
+	if _, err := tr.Pattern(math.Inf(1), InterpStep); err == nil || !strings.Contains(err.Error(), "scale") {
+		t.Fatalf("inf scale err = %v", err)
+	}
+	empty := &Trace{Name: "e", Mode: ModeLoad}
+	if _, err := empty.Pattern(1, InterpStep); err == nil {
+		t.Fatal("empty trace Pattern succeeded, want error")
+	}
+}
+
+func TestPatternDeterministicAndConcurrent(t *testing.T) {
+	tr := &Trace{Name: "t", Mode: ModeLoad, Points: []Point{{0, 1}, {30, 3}, {60, 0.2}}}
+	p, err := tr.Pattern(1, InterpLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, 61)
+	for s := range want {
+		want[s] = at(t, p, float64(s))
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for s := 0; s <= 60; s++ {
+				if got := p.Load(sim.Time(time.Duration(s) * time.Second)); got != want[s] {
+					done <- fmt.Errorf("Load(%ds) = %g, want %g", s, got, want[s])
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

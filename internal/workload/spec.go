@@ -1,0 +1,925 @@
+// Workload-spec files: the versioned scenario format documented in
+// SCENARIOS.md. A Spec describes a whole co-location scenario as data —
+// the LC service (a Table 1 catalog reference or a custom component DAG
+// with per-stage service-time parameters), the client classes with their
+// arrival processes and per-class SLOs, and the run shape (baseline load,
+// duration, BE job mix) — and decodes into the existing workload types:
+// Service for the DAG, loadgen.Pattern for the offered load.
+//
+// Validation mirrors internal/faults: every defect is a *FieldError
+// naming the exact spec field in JSON-path form ("clients[1].arrival.
+// process"), all defects are returned joined, and decoding is strict
+// (unknown keys are errors), so a typo never silently becomes a default.
+//
+// # Determinism
+//
+// Building a pattern from a spec draws randomness only through
+// sim.SubSeed substreams labeled "scenario/<name>/client/<class>", so
+// every class owns an independent stream: adding, removing or reordering
+// classes never perturbs another class's arrivals, and the same
+// (spec, seed) pair always yields byte-identical runs for any worker
+// count.
+
+package workload
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"rhythm/internal/bejobs"
+	"rhythm/internal/loadgen"
+	"rhythm/internal/queueing"
+	"rhythm/internal/replay"
+	"rhythm/internal/sim"
+)
+
+// SpecVersion is the workload-spec schema version this build reads and
+// the only value accepted in a spec's "version" field. The rule
+// (DESIGN.md §11): additive, default-preserving fields keep the version;
+// any change that alters the meaning of an existing file bumps it.
+const SpecVersion = 1
+
+// Spec defaults (documented per field in SCENARIOS.md).
+const (
+	defaultUtilAtMax  = 0.75
+	defaultLLCWays    = 2
+	defaultMemoryGB   = 8.0
+	defaultMemBWGBs   = 4.0
+	defaultNetGbps    = 1.0
+	defaultPoissonBin = 1.0 // seconds
+	maxUtilAtMax      = 0.98
+	rateFractionTol   = 1e-6
+)
+
+// FieldError is a spec validation failure naming the exact field it
+// concerns in JSON-path form, so callers can report — and tests can pin —
+// which part of a scenario file is bad.
+type FieldError struct {
+	Field  string
+	Reason string
+}
+
+// Error implements error.
+func (e *FieldError) Error() string { return "workload: spec " + e.Field + ": " + e.Reason }
+
+// Spec is a whole scenario file: schema version, the LC service, the run
+// shape and the client classes. See SCENARIOS.md for the format
+// reference and shipped examples.
+type Spec struct {
+	// Version is the schema version; this build requires SpecVersion.
+	Version int `json:"version"`
+	// Name labels the scenario; it seeds the per-class RNG substreams, so
+	// renaming a scenario deliberately reshuffles its arrival draws.
+	Name string `json:"name"`
+	// Description is free-form documentation.
+	Description string `json:"description,omitempty"`
+	// Service selects or defines the LC service.
+	Service ServiceSpec `json:"service"`
+	// Run shapes the co-location run.
+	Run RunSpec `json:"run"`
+	// Clients are the client classes whose weighted arrival intensities
+	// compose the offered load.
+	Clients []ClientSpec `json:"clients"`
+
+	// dir resolves relative trace paths (set by LoadSpec to the spec
+	// file's directory; empty means the current working directory).
+	dir string
+}
+
+// ServiceSpec selects a Table 1 catalog service or defines a custom one.
+// Exactly one of Catalog and Components must be used.
+type ServiceSpec struct {
+	// Catalog names a built-in Table 1 service (Services()); when set,
+	// every other field must stay empty.
+	Catalog string `json:"catalog,omitempty"`
+	// Name names a custom service; it must not collide with the catalog.
+	Name string `json:"name,omitempty"`
+	// MaxLoadQPS is the custom service's max load (load fraction 1.0).
+	MaxLoadQPS float64 `json:"max_load_qps,omitempty"`
+	// SLAMs is an informational Table 1 style tail target in
+	// milliseconds; the operational SLA is still derived at deploy time
+	// (worst solo p99 at max load), exactly as for catalog services.
+	SLAMs float64 `json:"sla_ms,omitempty"`
+	// Components are the custom service's stages.
+	Components []ComponentSpec `json:"components,omitempty"`
+	// Graph is the request call path over the components.
+	Graph *GraphNode `json:"graph,omitempty"`
+}
+
+// ComponentSpec is one custom service stage (one Servpod).
+type ComponentSpec struct {
+	// Name identifies the component; graph nodes reference it.
+	Name string `json:"name"`
+	// ServiceTime parametrizes the stage's service-time distribution.
+	ServiceTime ServiceTimeSpec `json:"service_time"`
+	// UtilAtMax is the stage utilization when the service runs at max
+	// load (worker count is derived from it); default 0.75, max 0.98.
+	UtilAtMax float64 `json:"util_at_max,omitempty"`
+	// Sensitivity is the interference-sensitivity vector (see Fig. 2).
+	Sensitivity SensitivitySpec `json:"sensitivity,omitempty"`
+	// FreqSens is the DVFS sensitivity exponent (default 0: insensitive).
+	FreqSens float64 `json:"freq_sens,omitempty"`
+	// CVSens scales how much interference inflates the sojourn CV.
+	CVSens float64 `json:"cv_sens,omitempty"`
+	// Resources reserves LC resources for the stage's containers.
+	Resources ResourceSpec `json:"resources"`
+	// Microservices counts microservices aggregated in the Servpod
+	// (default 1).
+	Microservices int `json:"microservices,omitempty"`
+}
+
+// ServiceTimeSpec parametrizes a stage's service-time distribution by
+// mean and coefficient of variation (the queueing model's mean+CV
+// parametrization; the distribution family is the engine's lognormal
+// fit).
+type ServiceTimeSpec struct {
+	// MeanMs is the uncontended mean service time in milliseconds.
+	MeanMs float64 `json:"mean_ms"`
+	// CV is the service-time coefficient of variation (default 0).
+	CV float64 `json:"cv,omitempty"`
+	// CVGrowth adds load-dependent CV inflation (Station.LoadCVGrowth).
+	CVGrowth float64 `json:"cv_growth,omitempty"`
+	// LoadFactor adds load-dependent mean inflation, e.g. lock
+	// contention (Station.ServiceLoadFactor).
+	LoadFactor float64 `json:"load_factor,omitempty"`
+}
+
+// SensitivitySpec is the per-resource interference sensitivity: the
+// mean-service inflation contributed by unit normalized pressure.
+type SensitivitySpec struct {
+	CPU   float64 `json:"cpu,omitempty"`
+	LLC   float64 `json:"llc,omitempty"`
+	MemBW float64 `json:"membw,omitempty"`
+	NetBW float64 `json:"netbw,omitempty"`
+}
+
+// ResourceSpec reserves LC resources for a stage.
+type ResourceSpec struct {
+	// Cores is the reserved core count (required, >= 1).
+	Cores int `json:"cores"`
+	// LLCWays reserves cache ways (default 2).
+	LLCWays int `json:"llc_ways,omitempty"`
+	// MemoryGB reserves memory (default 8).
+	MemoryGB float64 `json:"memory_gb,omitempty"`
+	// MemBWGBs is the stage's own memory-bandwidth demand at max load
+	// (default 4).
+	MemBWGBs float64 `json:"membw_gbs,omitempty"`
+	// NetGbps is the stage's own network demand at max load (default 1).
+	NetGbps float64 `json:"net_gbps,omitempty"`
+}
+
+// GraphNode is a vertex of the custom service's call path, mirroring
+// Node: children are downstream calls, issued concurrently when Parallel
+// is set and in sequence otherwise.
+type GraphNode struct {
+	// Comp names the component handling this hop.
+	Comp string `json:"comp"`
+	// Parallel fans the children out concurrently.
+	Parallel bool `json:"parallel,omitempty"`
+	// Children are the downstream calls.
+	Children []*GraphNode `json:"children,omitempty"`
+}
+
+// RunSpec shapes the co-location run.
+type RunSpec struct {
+	// BaselineLoad is the mean offered-load fraction the client mix is
+	// scaled to (each class contributes baseline_load x rate_fraction x
+	// its intensity).
+	BaselineLoad float64 `json:"baseline_load"`
+	// DurationS is the virtual run length in seconds.
+	DurationS float64 `json:"duration_s"`
+	// WarmupS discards the initial transient from statistics (seconds).
+	WarmupS float64 `json:"warmup_s,omitempty"`
+	// BEJobs are the best-effort job types co-located with the service,
+	// by Table 1 name ("wordcount", "CPU-stress", ...).
+	BEJobs []string `json:"be_jobs,omitempty"`
+}
+
+// ClientSpec is one client class: its share of the offered load, its
+// SLO, and its arrival process.
+type ClientSpec struct {
+	// Class names the client class; it labels the class's RNG substream.
+	Class string `json:"class"`
+	// RateFraction is the class's share of the mean offered load; the
+	// fractions across classes must sum to 1.
+	RateFraction float64 `json:"rate_fraction"`
+	// SLOScale sets the class SLO as a multiple of the service's derived
+	// SLA (default 1). Mutually exclusive with SLOMs.
+	SLOScale float64 `json:"slo_scale,omitempty"`
+	// SLOMs sets the class SLO absolutely, in milliseconds. Mutually
+	// exclusive with SLOScale.
+	SLOMs float64 `json:"slo_ms,omitempty"`
+	// Arrival is the class's arrival process.
+	Arrival ArrivalSpec `json:"arrival"`
+}
+
+// ArrivalSpec selects and parametrizes a class's arrival process. Only
+// the fields of the selected process may be set; SCENARIOS.md documents
+// which fields belong to which process and the underlying math.
+type ArrivalSpec struct {
+	// Process is "constant", "poisson", "mmpp", "diurnal" or "trace".
+	Process string `json:"process"`
+
+	// Level is the constant intensity (process "constant"; default 1).
+	Level *float64 `json:"level,omitempty"`
+
+	// BinS is the Poisson bin width in seconds (process "poisson";
+	// default 1).
+	BinS float64 `json:"bin_s,omitempty"`
+	// MeanPerBin is the expected arrivals per bin (process "poisson";
+	// default: the class request rate times the bin width).
+	MeanPerBin float64 `json:"mean_per_bin,omitempty"`
+
+	// Quiet is the quiet-state intensity (process "mmpp"; default 0).
+	Quiet float64 `json:"quiet,omitempty"`
+	// Burst is the burst-state intensity (process "mmpp"; required,
+	// > quiet).
+	Burst float64 `json:"burst,omitempty"`
+	// MeanQuietS is the mean quiet-state holding time in seconds
+	// (process "mmpp"; required).
+	MeanQuietS float64 `json:"mean_quiet_s,omitempty"`
+	// MeanBurstS is the mean burst-state holding time in seconds
+	// (process "mmpp"; required).
+	MeanBurstS float64 `json:"mean_burst_s,omitempty"`
+
+	// Min is the trough intensity (process "diurnal"; default 0).
+	Min float64 `json:"min,omitempty"`
+	// Max is the peak intensity (process "diurnal"; required, > min).
+	Max float64 `json:"max,omitempty"`
+	// BurstNoise scales the deterministic AR(1) burst noise, 0..1
+	// (process "diurnal"; default 0).
+	BurstNoise float64 `json:"burst_noise,omitempty"`
+	// Periods are the cosine components (process "diurnal"; default one
+	// component spanning the run duration).
+	Periods []PeriodSpec `json:"periods,omitempty"`
+
+	// Trace replays a recorded trace file (process "trace"; required).
+	Trace *TraceSpec `json:"trace,omitempty"`
+}
+
+// PeriodSpec is one cosine component of a diurnal arrival process.
+type PeriodSpec struct {
+	// PeriodS is the cycle length in seconds.
+	PeriodS float64 `json:"period_s"`
+	// Weight is the component's relative contribution (default 1).
+	Weight float64 `json:"weight,omitempty"`
+	// Phase shifts the wave as a fraction of the period in [0, 1).
+	Phase float64 `json:"phase,omitempty"`
+}
+
+// TraceSpec points a "trace" arrival process at a recorded file
+// (internal/replay formats: .csv, .jsonl, .ndjson).
+type TraceSpec struct {
+	// File is the trace path, relative to the spec file's directory.
+	File string `json:"file"`
+	// Interp is "step" (default) or "linear" sample interpolation.
+	Interp string `json:"interp,omitempty"`
+	// RateQPS maps a qps-mode trace to intensity: trace value / RateQPS.
+	// Required for qps traces, rejected for load traces.
+	RateQPS float64 `json:"rate_qps,omitempty"`
+}
+
+// Arrival process names accepted by ArrivalSpec.Process.
+const (
+	ArrivalConstant = "constant"
+	ArrivalPoisson  = "poisson"
+	ArrivalMMPP     = "mmpp"
+	ArrivalDiurnal  = "diurnal"
+	ArrivalTrace    = "trace"
+)
+
+// ParseSpec decodes and validates a JSON workload spec. Decoding is
+// strict: unknown fields are errors.
+func ParseSpec(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("workload: spec: %w", err)
+	}
+	// Reject trailing garbage after the top-level object.
+	if dec.More() {
+		return nil, fmt.Errorf("workload: spec: trailing data after the spec object")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// ParseSpecYAML decodes and validates a YAML-subset workload spec (see
+// SCENARIOS.md for the accepted subset). The YAML is converted to the
+// same JSON document model and decoded through the ParseSpec path, so
+// both formats share one validation surface.
+func ParseSpecYAML(data []byte) (*Spec, error) {
+	doc, err := parseYAMLSubset(data)
+	if err != nil {
+		return nil, fmt.Errorf("workload: spec: %w", err)
+	}
+	js, err := json.Marshal(doc)
+	if err != nil {
+		return nil, fmt.Errorf("workload: spec: %w", err)
+	}
+	return ParseSpec(js)
+}
+
+// LoadSpec reads a spec file, choosing the format by extension (.json,
+// or .yaml/.yml for the YAML subset). Relative trace paths inside the
+// spec resolve against the spec file's directory.
+func LoadSpec(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: spec: %w", err)
+	}
+	var s *Spec
+	switch ext := strings.ToLower(filepath.Ext(path)); ext {
+	case ".json":
+		s, err = ParseSpec(data)
+	case ".yaml", ".yml":
+		s, err = ParseSpecYAML(data)
+	default:
+		return nil, fmt.Errorf("workload: spec: %s: unknown extension %q (want .json, .yaml or .yml)", path, ext)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	s.dir = filepath.Dir(path)
+	return s, nil
+}
+
+// resolvePath resolves a spec-relative path against the spec file's
+// directory.
+func (s *Spec) resolvePath(p string) string {
+	if filepath.IsAbs(p) || s.dir == "" {
+		return p
+	}
+	return filepath.Join(s.dir, p)
+}
+
+// finitePos reports whether v is a positive finite number.
+func finitePos(v float64) bool { return v > 0 && !math.IsInf(v, 0) }
+
+// Validate checks the whole spec and returns every defect joined, each a
+// *FieldError naming the offending field in JSON-path form. File-level
+// checks that need I/O (trace existence, trace mode vs rate_qps) run at
+// build time instead (LoadPattern), which `rhythm scenario -validate`
+// exercises end to end.
+func (s *Spec) Validate() error {
+	var errs []error
+	fail := func(field, format string, args ...any) {
+		errs = append(errs, &FieldError{Field: field, Reason: fmt.Sprintf(format, args...)})
+	}
+	if s.Version != SpecVersion {
+		fail("version", "unsupported spec version %d (this build reads version %d)", s.Version, SpecVersion)
+	}
+	if strings.TrimSpace(s.Name) == "" {
+		fail("name", "required")
+	}
+	s.validateService(fail)
+	s.validateRun(fail)
+	s.validateClients(fail)
+	return errors.Join(errs...)
+}
+
+type failFunc func(field, format string, args ...any)
+
+func (s *Spec) validateService(fail failFunc) {
+	sv := &s.Service
+	if sv.Catalog != "" {
+		if _, err := ByName(sv.Catalog); err != nil {
+			fail("service.catalog", "%v", err)
+		}
+		for _, f := range []struct {
+			field string
+			set   bool
+		}{
+			{"service.name", sv.Name != ""},
+			{"service.max_load_qps", sv.MaxLoadQPS != 0},
+			{"service.sla_ms", sv.SLAMs != 0},
+			{"service.components", len(sv.Components) != 0},
+			{"service.graph", sv.Graph != nil},
+		} {
+			if f.set {
+				fail(f.field, "must be empty when service.catalog is set")
+			}
+		}
+		return
+	}
+	if strings.TrimSpace(sv.Name) == "" {
+		fail("service.name", "required for a custom service (or set service.catalog)")
+	} else if _, err := ByName(sv.Name); err == nil {
+		fail("service.name", "%q collides with a catalog service; reference it via service.catalog instead", sv.Name)
+	}
+	if !finitePos(sv.MaxLoadQPS) {
+		fail("service.max_load_qps", "must be positive and finite, got %g", sv.MaxLoadQPS)
+	}
+	if sv.SLAMs < 0 || math.IsInf(sv.SLAMs, 0) || math.IsNaN(sv.SLAMs) {
+		fail("service.sla_ms", "must be finite and >= 0, got %g", sv.SLAMs)
+	}
+	if len(sv.Components) == 0 {
+		fail("service.components", "a custom service needs at least one component")
+	}
+	names := map[string]bool{}
+	for i := range sv.Components {
+		c := &sv.Components[i]
+		at := fmt.Sprintf("service.components[%d]", i)
+		if strings.TrimSpace(c.Name) == "" {
+			fail(at+".name", "required")
+		} else if names[c.Name] {
+			fail(at+".name", "duplicate component %q", c.Name)
+		} else {
+			names[c.Name] = true
+		}
+		if !finitePos(c.ServiceTime.MeanMs) {
+			fail(at+".service_time.mean_ms", "must be positive and finite, got %g", c.ServiceTime.MeanMs)
+		}
+		if c.ServiceTime.CV < 0 {
+			fail(at+".service_time.cv", "must be >= 0, got %g", c.ServiceTime.CV)
+		}
+		if c.ServiceTime.CVGrowth < 0 {
+			fail(at+".service_time.cv_growth", "must be >= 0, got %g", c.ServiceTime.CVGrowth)
+		}
+		if c.ServiceTime.LoadFactor < 0 {
+			fail(at+".service_time.load_factor", "must be >= 0, got %g", c.ServiceTime.LoadFactor)
+		}
+		if c.UtilAtMax < 0 || c.UtilAtMax > maxUtilAtMax {
+			fail(at+".util_at_max", "must be in (0, %g] (0 means the %g default), got %g", maxUtilAtMax, defaultUtilAtMax, c.UtilAtMax)
+		}
+		for _, f := range []struct {
+			field string
+			v     float64
+		}{
+			{".sensitivity.cpu", c.Sensitivity.CPU},
+			{".sensitivity.llc", c.Sensitivity.LLC},
+			{".sensitivity.membw", c.Sensitivity.MemBW},
+			{".sensitivity.netbw", c.Sensitivity.NetBW},
+			{".freq_sens", c.FreqSens},
+			{".cv_sens", c.CVSens},
+		} {
+			if f.v < 0 || math.IsInf(f.v, 0) || math.IsNaN(f.v) {
+				fail(at+f.field, "must be finite and >= 0, got %g", f.v)
+			}
+		}
+		if c.Resources.Cores < 1 {
+			fail(at+".resources.cores", "at least 1 core is required, got %d", c.Resources.Cores)
+		}
+		if c.Resources.LLCWays < 0 {
+			fail(at+".resources.llc_ways", "must be >= 0, got %d", c.Resources.LLCWays)
+		}
+		for _, f := range []struct {
+			field string
+			v     float64
+		}{
+			{".resources.memory_gb", c.Resources.MemoryGB},
+			{".resources.membw_gbs", c.Resources.MemBWGBs},
+			{".resources.net_gbps", c.Resources.NetGbps},
+		} {
+			if f.v < 0 || math.IsInf(f.v, 0) || math.IsNaN(f.v) {
+				fail(at+f.field, "must be finite and >= 0, got %g", f.v)
+			}
+		}
+		if c.Microservices < 0 {
+			fail(at+".microservices", "must be >= 0, got %d", c.Microservices)
+		}
+	}
+	if sv.Graph == nil {
+		if len(sv.Components) != 0 {
+			fail("service.graph", "a custom service needs a call graph")
+		}
+		return
+	}
+	referenced := map[string]bool{}
+	var walk func(n *GraphNode, at string)
+	walk = func(n *GraphNode, at string) {
+		if strings.TrimSpace(n.Comp) == "" {
+			fail(at+".comp", "required")
+		} else if !names[n.Comp] {
+			fail(at+".comp", "dangling edge: component %q is not in service.components", n.Comp)
+		} else {
+			referenced[n.Comp] = true
+		}
+		for i, ch := range n.Children {
+			at := fmt.Sprintf("%s.children[%d]", at, i)
+			if ch == nil {
+				fail(at, "null graph node")
+				continue
+			}
+			walk(ch, at)
+		}
+	}
+	walk(sv.Graph, "service.graph")
+	for i := range sv.Components {
+		if name := sv.Components[i].Name; name != "" && names[name] && !referenced[name] {
+			fail(fmt.Sprintf("service.components[%d].name", i), "component %q is never referenced by service.graph", name)
+		}
+	}
+}
+
+func (s *Spec) validateRun(fail failFunc) {
+	r := &s.Run
+	if !(r.BaselineLoad > 0) || r.BaselineLoad > 1.2 {
+		fail("run.baseline_load", "must be in (0, 1.2], got %g", r.BaselineLoad)
+	}
+	if !finitePos(r.DurationS) {
+		fail("run.duration_s", "must be positive and finite, got %g", r.DurationS)
+	}
+	if r.WarmupS < 0 || math.IsInf(r.WarmupS, 0) || math.IsNaN(r.WarmupS) {
+		fail("run.warmup_s", "must be finite and >= 0, got %g", r.WarmupS)
+	} else if finitePos(r.DurationS) && r.WarmupS >= r.DurationS {
+		fail("run.warmup_s", "warmup %gs must be shorter than run.duration_s %gs", r.WarmupS, r.DurationS)
+	}
+	for i, name := range r.BEJobs {
+		if _, err := bejobs.Lookup(bejobs.Type(name)); err != nil {
+			fail(fmt.Sprintf("run.be_jobs[%d]", i), "%v", err)
+		}
+	}
+}
+
+func (s *Spec) validateClients(fail failFunc) {
+	if len(s.Clients) == 0 {
+		fail("clients", "at least one client class is required")
+		return
+	}
+	classes := map[string]bool{}
+	sum := 0.0
+	for i := range s.Clients {
+		c := &s.Clients[i]
+		at := fmt.Sprintf("clients[%d]", i)
+		if strings.TrimSpace(c.Class) == "" {
+			fail(at+".class", "required")
+		} else if classes[c.Class] {
+			fail(at+".class", "duplicate class %q", c.Class)
+		} else {
+			classes[c.Class] = true
+		}
+		if !finitePos(c.RateFraction) || c.RateFraction > 1 {
+			fail(at+".rate_fraction", "must be in (0, 1], got %g", c.RateFraction)
+		} else {
+			sum += c.RateFraction
+		}
+		if c.SLOScale != 0 && c.SLOMs != 0 {
+			fail(at+".slo_scale", "mutually exclusive with %s.slo_ms: set at most one", at)
+		}
+		if c.SLOScale < 0 || math.IsInf(c.SLOScale, 0) || math.IsNaN(c.SLOScale) {
+			fail(at+".slo_scale", "must be finite and >= 0, got %g", c.SLOScale)
+		}
+		if c.SLOMs < 0 || math.IsInf(c.SLOMs, 0) || math.IsNaN(c.SLOMs) {
+			fail(at+".slo_ms", "must be finite and >= 0, got %g", c.SLOMs)
+		}
+		c.Arrival.validate(at+".arrival", fail)
+	}
+	if len(classes) == len(s.Clients) && math.Abs(sum-1) > rateFractionTol {
+		fail("clients", "rate_fraction values must sum to 1, got %g", sum)
+	}
+}
+
+// validate checks the arrival process: the selected process's parameters
+// are in range, and no parameter of a different process is set (a
+// misplaced field is a defect, not a silent no-op).
+func (a *ArrivalSpec) validate(at string, fail failFunc) {
+	fields := []struct {
+		name  string
+		owner string
+		set   bool
+	}{
+		{"level", ArrivalConstant, a.Level != nil},
+		{"bin_s", ArrivalPoisson, a.BinS != 0},
+		{"mean_per_bin", ArrivalPoisson, a.MeanPerBin != 0},
+		{"quiet", ArrivalMMPP, a.Quiet != 0},
+		{"burst", ArrivalMMPP, a.Burst != 0},
+		{"mean_quiet_s", ArrivalMMPP, a.MeanQuietS != 0},
+		{"mean_burst_s", ArrivalMMPP, a.MeanBurstS != 0},
+		{"min", ArrivalDiurnal, a.Min != 0},
+		{"max", ArrivalDiurnal, a.Max != 0},
+		{"burst_noise", ArrivalDiurnal, a.BurstNoise != 0},
+		{"periods", ArrivalDiurnal, len(a.Periods) != 0},
+		{"trace", ArrivalTrace, a.Trace != nil},
+	}
+	switch a.Process {
+	case ArrivalConstant, ArrivalPoisson, ArrivalMMPP, ArrivalDiurnal, ArrivalTrace:
+	case "":
+		fail(at+".process", "required: one of %s, %s, %s, %s, %s",
+			ArrivalConstant, ArrivalPoisson, ArrivalMMPP, ArrivalDiurnal, ArrivalTrace)
+		return
+	default:
+		fail(at+".process", "unknown arrival process %q (want %s, %s, %s, %s or %s)",
+			a.Process, ArrivalConstant, ArrivalPoisson, ArrivalMMPP, ArrivalDiurnal, ArrivalTrace)
+		return
+	}
+	for _, f := range fields {
+		if f.set && f.owner != a.Process {
+			fail(at+"."+f.name, "only valid for the %q arrival process (this class uses %q)", f.owner, a.Process)
+		}
+	}
+	switch a.Process {
+	case ArrivalConstant:
+		if a.Level != nil && (*a.Level < 0 || math.IsInf(*a.Level, 0) || math.IsNaN(*a.Level)) {
+			fail(at+".level", "must be finite and >= 0, got %g", *a.Level)
+		}
+	case ArrivalPoisson:
+		if a.BinS < 0 || math.IsInf(a.BinS, 0) || math.IsNaN(a.BinS) {
+			fail(at+".bin_s", "must be finite and > 0 (0 means the %gs default), got %g", defaultPoissonBin, a.BinS)
+		}
+		if a.MeanPerBin < 0 || math.IsInf(a.MeanPerBin, 0) || math.IsNaN(a.MeanPerBin) {
+			fail(at+".mean_per_bin", "must be finite and > 0 (0 derives it from the class rate), got %g", a.MeanPerBin)
+		}
+	case ArrivalMMPP:
+		if a.Quiet < 0 || math.IsInf(a.Quiet, 0) || math.IsNaN(a.Quiet) {
+			fail(at+".quiet", "must be finite and >= 0, got %g", a.Quiet)
+		}
+		if !finitePos(a.Burst) {
+			fail(at+".burst", "required: a positive finite burst intensity, got %g", a.Burst)
+		} else if a.Burst <= a.Quiet {
+			fail(at+".burst", "burst intensity %g must exceed quiet intensity %g", a.Burst, a.Quiet)
+		}
+		if !finitePos(a.MeanQuietS) {
+			fail(at+".mean_quiet_s", "required: a positive finite mean holding time, got %g", a.MeanQuietS)
+		}
+		if !finitePos(a.MeanBurstS) {
+			fail(at+".mean_burst_s", "required: a positive finite mean holding time, got %g", a.MeanBurstS)
+		}
+	case ArrivalDiurnal:
+		if a.Min < 0 || math.IsInf(a.Min, 0) || math.IsNaN(a.Min) {
+			fail(at+".min", "must be finite and >= 0, got %g", a.Min)
+		}
+		if !finitePos(a.Max) {
+			fail(at+".max", "required: a positive finite peak intensity, got %g", a.Max)
+		} else if a.Max <= a.Min {
+			fail(at+".max", "peak intensity %g must exceed trough intensity %g", a.Max, a.Min)
+		}
+		if a.BurstNoise < 0 || a.BurstNoise > 1 || math.IsNaN(a.BurstNoise) {
+			fail(at+".burst_noise", "must be in [0, 1], got %g", a.BurstNoise)
+		}
+		for i, p := range a.Periods {
+			pat := fmt.Sprintf("%s.periods[%d]", at, i)
+			if !finitePos(p.PeriodS) {
+				fail(pat+".period_s", "must be positive and finite, got %g", p.PeriodS)
+			}
+			if p.Weight < 0 || math.IsInf(p.Weight, 0) || math.IsNaN(p.Weight) {
+				fail(pat+".weight", "must be finite and > 0 (0 means the default 1), got %g", p.Weight)
+			}
+			if p.Phase < 0 || p.Phase >= 1 || math.IsNaN(p.Phase) {
+				fail(pat+".phase", "must be in [0, 1), got %g", p.Phase)
+			}
+		}
+	case ArrivalTrace:
+		if a.Trace == nil {
+			fail(at+".trace", "required: the trace file to replay")
+			return
+		}
+		if strings.TrimSpace(a.Trace.File) == "" {
+			fail(at+".trace.file", "required")
+		}
+		switch a.Trace.Interp {
+		case "", replay.InterpStep, replay.InterpLinear:
+		default:
+			fail(at+".trace.interp", "must be %q or %q, got %q", replay.InterpStep, replay.InterpLinear, a.Trace.Interp)
+		}
+		if a.Trace.RateQPS < 0 || math.IsInf(a.Trace.RateQPS, 0) || math.IsNaN(a.Trace.RateQPS) {
+			fail(at+".trace.rate_qps", "must be finite and > 0 (required for qps-mode traces), got %g", a.Trace.RateQPS)
+		}
+	}
+}
+
+// Service materializes the spec's LC service: the catalog service it
+// references, or the custom component DAG built with the same calibration
+// helpers as the Table 1 catalog (worker counts derived from util_at_max,
+// defaults for the optional resource fields). The result passes
+// Service.Validate, so a custom spec whose stations would saturate below
+// max_load_qps is rejected here.
+func (s *Spec) BuildService() (*Service, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	sv := &s.Service
+	if sv.Catalog != "" {
+		return ByName(sv.Catalog)
+	}
+	svc := &Service{
+		Name:       sv.Name,
+		Domain:     "scenario",
+		MaxLoadQPS: sv.MaxLoadQPS,
+		SLATable1:  time.Duration(sv.SLAMs * float64(time.Millisecond)),
+	}
+	for i := range sv.Components {
+		c := &sv.Components[i]
+		util := c.UtilAtMax
+		if util == 0 {
+			util = defaultUtilAtMax
+		}
+		ways := c.Resources.LLCWays
+		if ways == 0 {
+			ways = defaultLLCWays
+		}
+		memGB := c.Resources.MemoryGB
+		if memGB == 0 {
+			memGB = defaultMemoryGB
+		}
+		membw := c.Resources.MemBWGBs
+		if membw == 0 {
+			membw = defaultMemBWGBs
+		}
+		net := c.Resources.NetGbps
+		if net == 0 {
+			net = defaultNetGbps
+		}
+		micro := c.Microservices
+		if micro == 0 {
+			micro = 1
+		}
+		base := c.ServiceTime.MeanMs / 1000
+		svc.Components = append(svc.Components, &Component{
+			Name: c.Name,
+			Station: queueing.Station{
+				BaseService:       base,
+				BaseCV:            c.ServiceTime.CV,
+				Workers:           workers(sv.MaxLoadQPS, base, util),
+				LoadCVGrowth:      c.ServiceTime.CVGrowth,
+				ServiceLoadFactor: c.ServiceTime.LoadFactor,
+			},
+			Sens:          sens(c.Sensitivity.CPU, c.Sensitivity.LLC, c.Sensitivity.MemBW, c.Sensitivity.NetBW),
+			FreqSens:      c.FreqSens,
+			CVSens:        c.CVSens,
+			Cores:         c.Resources.Cores,
+			LLCWays:       ways,
+			MemoryGB:      memGB,
+			MaxMemBWGBs:   membw,
+			MaxNetGbps:    net,
+			Microservices: micro,
+		})
+		svc.Containers += micro
+	}
+	svc.Graph = sv.Graph.node()
+	if err := svc.Validate(); err != nil {
+		return nil, &FieldError{Field: "service", Reason: err.Error()}
+	}
+	return svc, nil
+}
+
+// node converts a spec graph to the runtime call-path node.
+func (g *GraphNode) node() *Node {
+	n := &Node{Comp: g.Comp, Parallel: g.Parallel}
+	for _, ch := range g.Children {
+		if ch != nil {
+			n.Children = append(n.Children, ch.node())
+		}
+	}
+	return n
+}
+
+// maxQPS returns the service max load the spec resolves to.
+func (s *Spec) maxQPS() (float64, error) {
+	if s.Service.Catalog != "" {
+		svc, err := ByName(s.Service.Catalog)
+		if err != nil {
+			return 0, err
+		}
+		return svc.MaxLoadQPS, nil
+	}
+	return s.Service.MaxLoadQPS, nil
+}
+
+// Duration returns the run length.
+func (s *Spec) Duration() time.Duration {
+	return time.Duration(s.Run.DurationS * float64(time.Second))
+}
+
+// Warmup returns the statistics warmup.
+func (s *Spec) Warmup() time.Duration {
+	return time.Duration(s.Run.WarmupS * float64(time.Second))
+}
+
+// BETypes returns the run's BE job mix as typed Table 1 entries.
+func (s *Spec) BETypes() ([]bejobs.Type, error) {
+	out := make([]bejobs.Type, 0, len(s.Run.BEJobs))
+	for i, name := range s.Run.BEJobs {
+		t := bejobs.Type(name)
+		if _, err := bejobs.Lookup(t); err != nil {
+			return nil, &FieldError{Field: fmt.Sprintf("run.be_jobs[%d]", i), Reason: err.Error()}
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// SLOSeconds resolves the class SLO in seconds against the service's
+// derived SLA: slo_ms when set, otherwise slo_scale (default 1) times
+// the SLA.
+func (c *ClientSpec) SLOSeconds(sla float64) float64 {
+	if c.SLOMs > 0 {
+		return c.SLOMs / 1000
+	}
+	scale := c.SLOScale
+	if scale == 0 {
+		scale = 1
+	}
+	return scale * sla
+}
+
+// LoadPattern composes the spec's client classes into the run's offered
+// load: a loadgen.Mix of per-class arrival intensities, each weighted by
+// run.baseline_load x the class rate_fraction. Every class draws from
+// its own sim.SubSeed substream of seed labeled
+// "scenario/<name>/client/<class>", so the pattern — and every run built
+// on it — is byte-identical across worker counts and repeat runs.
+// Trace-replay classes read their files here; relative paths resolve
+// against the spec file's directory.
+func (s *Spec) LoadPattern(seed uint64) (loadgen.Pattern, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	maxQPS, err := s.maxQPS()
+	if err != nil {
+		return nil, err
+	}
+	mix := make(loadgen.Mix, 0, len(s.Clients))
+	for i := range s.Clients {
+		c := &s.Clients[i]
+		sub := sim.SubSeed(seed, "scenario/"+s.Name+"/client/"+c.Class)
+		p, err := s.clientPattern(c, sub, maxQPS)
+		if err != nil {
+			return nil, fmt.Errorf("workload: spec clients[%d] (%s): %w", i, c.Class, err)
+		}
+		mix = append(mix, loadgen.Weighted{Weight: s.Run.BaselineLoad * c.RateFraction, Pattern: p})
+	}
+	return mix, nil
+}
+
+// clientPattern builds one class's arrival intensity (mean ~ 1).
+func (s *Spec) clientPattern(c *ClientSpec, seed uint64, maxQPS float64) (loadgen.Pattern, error) {
+	a := &c.Arrival
+	switch a.Process {
+	case ArrivalConstant:
+		level := 1.0
+		if a.Level != nil {
+			level = *a.Level
+		}
+		return loadgen.Constant(level), nil
+	case ArrivalPoisson:
+		binS := a.BinS
+		if binS == 0 {
+			binS = defaultPoissonBin
+		}
+		mean := a.MeanPerBin
+		if mean == 0 {
+			// Default: the class's own request rate times the bin width,
+			// so low-rate classes are naturally noisier.
+			mean = c.RateFraction * s.Run.BaselineLoad * maxQPS * binS
+		}
+		return loadgen.NewPoissonBins(time.Duration(binS*float64(time.Second)), mean, seed)
+	case ArrivalMMPP:
+		return loadgen.NewMMPP2(a.Quiet, a.Burst,
+			time.Duration(a.MeanQuietS*float64(time.Second)),
+			time.Duration(a.MeanBurstS*float64(time.Second)),
+			s.Duration(), seed)
+	case ArrivalDiurnal:
+		periods := a.Periods
+		if len(periods) == 0 {
+			periods = []PeriodSpec{{PeriodS: s.Run.DurationS}}
+		}
+		comps := make([]loadgen.PeriodComponent, len(periods))
+		for i, p := range periods {
+			w := p.Weight
+			if w == 0 {
+				w = 1
+			}
+			comps[i] = loadgen.PeriodComponent{
+				Period: time.Duration(p.PeriodS * float64(time.Second)),
+				Weight: w,
+				Phase:  p.Phase,
+			}
+		}
+		return loadgen.NewMultiDiurnal(comps, a.Min, a.Max, a.BurstNoise, seed)
+	case ArrivalTrace:
+		tr, err := replay.Open(s.resolvePath(a.Trace.File))
+		if err != nil {
+			return nil, err
+		}
+		scale := 1.0
+		switch tr.Mode {
+		case replay.ModeQPS:
+			if a.Trace.RateQPS == 0 {
+				return nil, &FieldError{Field: "arrival.trace.rate_qps",
+					Reason: fmt.Sprintf("required: %s is a qps-mode trace and needs a reference rate", a.Trace.File)}
+			}
+			scale = 1 / a.Trace.RateQPS
+		case replay.ModeLoad:
+			if a.Trace.RateQPS != 0 {
+				return nil, &FieldError{Field: "arrival.trace.rate_qps",
+					Reason: fmt.Sprintf("only valid for qps-mode traces; %s is a load-mode trace", a.Trace.File)}
+			}
+		}
+		interp := a.Trace.Interp
+		if interp == "" {
+			interp = replay.InterpStep
+		}
+		return tr.Pattern(scale, interp)
+	}
+	return nil, &FieldError{Field: "arrival.process", Reason: fmt.Sprintf("unknown arrival process %q", a.Process)}
+}

@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// specJSONTags walks the Spec type tree and collects every json field
+// name the strict decoder accepts.
+func specJSONTags() []string {
+	seen := map[string]bool{}
+	visited := map[reflect.Type]bool{}
+	var walk func(t reflect.Type)
+	walk = func(t reflect.Type) {
+		for t.Kind() == reflect.Ptr || t.Kind() == reflect.Slice {
+			t = t.Elem()
+		}
+		if t.Kind() != reflect.Struct || visited[t] {
+			return
+		}
+		visited[t] = true
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			tag := strings.Split(f.Tag.Get("json"), ",")[0]
+			if tag == "" || tag == "-" {
+				continue
+			}
+			seen[tag] = true
+			walk(f.Type)
+		}
+	}
+	walk(reflect.TypeOf(Spec{}))
+	out := make([]string, 0, len(seen))
+	for tag := range seen {
+		out = append(out, tag)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestScenariosDocCoversEverySpecField enforces the SCENARIOS.md
+// acceptance criterion: every json field the loader accepts appears in
+// the format reference as a backtick-quoted name. A field added to the
+// spec without documentation fails here by construction.
+func TestScenariosDocCoversEverySpecField(t *testing.T) {
+	doc, err := os.ReadFile("../../SCENARIOS.md")
+	if err != nil {
+		t.Fatalf("SCENARIOS.md must ship with the spec loader: %v", err)
+	}
+	text := string(doc)
+	var missing []string
+	for _, tag := range specJSONTags() {
+		if !strings.Contains(text, "`"+tag+"`") {
+			missing = append(missing, tag)
+		}
+	}
+	if len(missing) > 0 {
+		t.Fatalf("SCENARIOS.md does not document spec fields: %v\n(each must appear backtick-quoted)", missing)
+	}
+}
+
+// TestScenariosDocCoversProcessesAndDefaults: the arrival process names
+// and the documented defaults must match the loader's constants.
+func TestScenariosDocCoversProcessesAndDefaults(t *testing.T) {
+	doc, err := os.ReadFile("../../SCENARIOS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(doc)
+	for _, want := range []string{
+		"`" + ArrivalConstant + "`", "`" + ArrivalPoisson + "`", "`" + ArrivalMMPP + "`",
+		"`" + ArrivalDiurnal + "`", "`" + ArrivalTrace + "`",
+		fmt.Sprintf("version %d", SpecVersion),
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("SCENARIOS.md missing %q", want)
+		}
+	}
+}

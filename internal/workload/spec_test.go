@@ -1,0 +1,496 @@
+package workload
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"rhythm/internal/sim"
+)
+
+// validCustomSpec returns a minimal valid custom-service spec for
+// mutation-based validation tests.
+func validCustomSpec() *Spec {
+	const src = `{
+	  "version": 1,
+	  "name": "t",
+	  "service": {
+	    "name": "TestSvc",
+	    "max_load_qps": 500,
+	    "components": [
+	      {"name": "A", "service_time": {"mean_ms": 2}, "resources": {"cores": 2}},
+	      {"name": "B", "service_time": {"mean_ms": 5}, "resources": {"cores": 4}}
+	    ],
+	    "graph": {"comp": "A", "children": [{"comp": "B"}]}
+	  },
+	  "run": {"baseline_load": 0.6, "duration_s": 60, "warmup_s": 10},
+	  "clients": [
+	    {"class": "web", "rate_fraction": 0.7, "arrival": {"process": "constant"}},
+	    {"class": "api", "rate_fraction": 0.3, "arrival": {"process": "poisson"}}
+	  ]
+	}`
+	var s Spec
+	if err := json.Unmarshal([]byte(src), &s); err != nil {
+		panic(err)
+	}
+	return &s
+}
+
+// fieldsOf collects the Field names of every *FieldError inside err.
+func fieldsOf(err error) []string {
+	var out []string
+	var walk func(error)
+	walk = func(e error) {
+		if e == nil {
+			return
+		}
+		var fe *FieldError
+		if errors.As(e, &fe) {
+			out = append(out, fe.Field)
+		}
+		if u, ok := e.(interface{ Unwrap() []error }); ok {
+			for _, sub := range u.Unwrap() {
+				walk(sub)
+			}
+		}
+	}
+	walk(err)
+	return out
+}
+
+func wantField(t *testing.T, err error, field string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("Validate() = nil, want a FieldError for %q", field)
+	}
+	for _, f := range fieldsOf(err) {
+		if f == field {
+			return
+		}
+	}
+	t.Fatalf("Validate() = %v\nwant a FieldError for field %q (got fields %v)", err, field, fieldsOf(err))
+}
+
+func TestValidateBaseSpecIsValid(t *testing.T) {
+	if err := validCustomSpec().Validate(); err != nil {
+		t.Fatalf("base spec invalid: %v", err)
+	}
+}
+
+func TestValidateFieldErrors(t *testing.T) {
+	lvl := func(v float64) *float64 { return &v }
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		field  string
+	}{
+		{"unknown version", func(s *Spec) { s.Version = 99 }, "version"},
+		{"zero version", func(s *Spec) { s.Version = 0 }, "version"},
+		{"missing name", func(s *Spec) { s.Name = " " }, "name"},
+
+		{"unknown catalog", func(s *Spec) { s.Service = ServiceSpec{Catalog: "NoSuchService"} }, "service.catalog"},
+		{"catalog plus components", func(s *Spec) { s.Service.Catalog = "Redis" }, "service.components"},
+		{"catalog plus name", func(s *Spec) {
+			s.Service = ServiceSpec{Catalog: "Redis", Name: "X"}
+		}, "service.name"},
+		{"custom without name", func(s *Spec) { s.Service.Name = "" }, "service.name"},
+		{"custom name collides with catalog", func(s *Spec) { s.Service.Name = "Redis" }, "service.name"},
+		{"zero max_load_qps", func(s *Spec) { s.Service.MaxLoadQPS = 0 }, "service.max_load_qps"},
+		{"negative sla_ms", func(s *Spec) { s.Service.SLAMs = -1 }, "service.sla_ms"},
+		{"no components", func(s *Spec) {
+			s.Service.Components = nil
+			s.Service.Graph = nil
+		}, "service.components"},
+
+		{"component without name", func(s *Spec) { s.Service.Components[1].Name = "" }, "service.components[1].name"},
+		{"duplicate component", func(s *Spec) { s.Service.Components[1].Name = "A" }, "service.components[1].name"},
+		{"zero mean_ms", func(s *Spec) { s.Service.Components[0].ServiceTime.MeanMs = 0 }, "service.components[0].service_time.mean_ms"},
+		{"negative cv", func(s *Spec) { s.Service.Components[0].ServiceTime.CV = -0.1 }, "service.components[0].service_time.cv"},
+		{"negative cv_growth", func(s *Spec) { s.Service.Components[0].ServiceTime.CVGrowth = -1 }, "service.components[0].service_time.cv_growth"},
+		{"negative load_factor", func(s *Spec) { s.Service.Components[0].ServiceTime.LoadFactor = -1 }, "service.components[0].service_time.load_factor"},
+		{"util_at_max too high", func(s *Spec) { s.Service.Components[0].UtilAtMax = 0.99 }, "service.components[0].util_at_max"},
+		{"negative sensitivity", func(s *Spec) { s.Service.Components[0].Sensitivity.LLC = -0.5 }, "service.components[0].sensitivity.llc"},
+		{"NaN sensitivity", func(s *Spec) { s.Service.Components[0].Sensitivity.CPU = math.NaN() }, "service.components[0].sensitivity.cpu"},
+		{"negative freq_sens", func(s *Spec) { s.Service.Components[0].FreqSens = -1 }, "service.components[0].freq_sens"},
+		{"zero cores", func(s *Spec) { s.Service.Components[0].Resources.Cores = 0 }, "service.components[0].resources.cores"},
+		{"negative llc_ways", func(s *Spec) { s.Service.Components[0].Resources.LLCWays = -1 }, "service.components[0].resources.llc_ways"},
+		{"negative memory", func(s *Spec) { s.Service.Components[0].Resources.MemoryGB = -8 }, "service.components[0].resources.memory_gb"},
+		{"negative microservices", func(s *Spec) { s.Service.Components[0].Microservices = -1 }, "service.components[0].microservices"},
+
+		{"missing graph", func(s *Spec) { s.Service.Graph = nil }, "service.graph"},
+		{"dangling root edge", func(s *Spec) { s.Service.Graph.Comp = "Nope" }, "service.graph.comp"},
+		{"dangling child edge", func(s *Spec) { s.Service.Graph.Children[0].Comp = "Gone" }, "service.graph.children[0].comp"},
+		{"null graph child", func(s *Spec) { s.Service.Graph.Children = append(s.Service.Graph.Children, nil) }, "service.graph.children[1]"},
+		{"unreferenced component", func(s *Spec) { s.Service.Graph.Children = nil }, "service.components[1].name"},
+
+		{"zero baseline_load", func(s *Spec) { s.Run.BaselineLoad = 0 }, "run.baseline_load"},
+		{"excessive baseline_load", func(s *Spec) { s.Run.BaselineLoad = 1.3 }, "run.baseline_load"},
+		{"zero duration", func(s *Spec) { s.Run.DurationS = 0 }, "run.duration_s"},
+		{"negative warmup", func(s *Spec) { s.Run.WarmupS = -1 }, "run.warmup_s"},
+		{"warmup exceeds duration", func(s *Spec) { s.Run.WarmupS = 60 }, "run.warmup_s"},
+		{"unknown be_job", func(s *Spec) { s.Run.BEJobs = []string{"bitcoin-miner"} }, "run.be_jobs[0]"},
+
+		{"no clients", func(s *Spec) { s.Clients = nil }, "clients"},
+		{"missing class", func(s *Spec) { s.Clients[0].Class = "" }, "clients[0].class"},
+		{"duplicate class", func(s *Spec) { s.Clients[1].Class = "web" }, "clients[1].class"},
+		{"zero rate_fraction", func(s *Spec) { s.Clients[0].RateFraction = 0 }, "clients[0].rate_fraction"},
+		{"rate_fraction above 1", func(s *Spec) { s.Clients[0].RateFraction = 1.5 }, "clients[0].rate_fraction"},
+		{"fractions do not sum to 1", func(s *Spec) { s.Clients[0].RateFraction = 0.5 }, "clients"},
+		{"slo_scale and slo_ms together", func(s *Spec) {
+			s.Clients[0].SLOScale = 1.5
+			s.Clients[0].SLOMs = 100
+		}, "clients[0].slo_scale"},
+		{"negative slo_ms", func(s *Spec) { s.Clients[0].SLOMs = -5 }, "clients[0].slo_ms"},
+		{"negative slo_scale", func(s *Spec) { s.Clients[0].SLOScale = -1 }, "clients[0].slo_scale"},
+
+		{"missing process", func(s *Spec) { s.Clients[0].Arrival.Process = "" }, "clients[0].arrival.process"},
+		{"unknown process", func(s *Spec) { s.Clients[0].Arrival.Process = "pareto" }, "clients[0].arrival.process"},
+		{"misplaced poisson field", func(s *Spec) { s.Clients[0].Arrival.BinS = 2 }, "clients[0].arrival.bin_s"},
+		{"misplaced mmpp field", func(s *Spec) { s.Clients[1].Arrival.Burst = 2 }, "clients[1].arrival.burst"},
+		{"misplaced trace field", func(s *Spec) { s.Clients[0].Arrival.Trace = &TraceSpec{File: "x.csv"} }, "clients[0].arrival.trace"},
+		{"negative constant level", func(s *Spec) { s.Clients[0].Arrival.Level = lvl(-1) }, "clients[0].arrival.level"},
+		{"negative bin_s", func(s *Spec) { s.Clients[1].Arrival.BinS = -1 }, "clients[1].arrival.bin_s"},
+		{"negative mean_per_bin", func(s *Spec) { s.Clients[1].Arrival.MeanPerBin = -10 }, "clients[1].arrival.mean_per_bin"},
+
+		{"mmpp without burst", func(s *Spec) {
+			s.Clients[0].Arrival = ArrivalSpec{Process: "mmpp", MeanQuietS: 10, MeanBurstS: 5}
+		}, "clients[0].arrival.burst"},
+		{"mmpp burst below quiet", func(s *Spec) {
+			s.Clients[0].Arrival = ArrivalSpec{Process: "mmpp", Quiet: 2, Burst: 1, MeanQuietS: 10, MeanBurstS: 5}
+		}, "clients[0].arrival.burst"},
+		{"mmpp without mean_quiet_s", func(s *Spec) {
+			s.Clients[0].Arrival = ArrivalSpec{Process: "mmpp", Burst: 2, MeanBurstS: 5}
+		}, "clients[0].arrival.mean_quiet_s"},
+		{"mmpp without mean_burst_s", func(s *Spec) {
+			s.Clients[0].Arrival = ArrivalSpec{Process: "mmpp", Burst: 2, MeanQuietS: 10}
+		}, "clients[0].arrival.mean_burst_s"},
+
+		{"diurnal without max", func(s *Spec) {
+			s.Clients[0].Arrival = ArrivalSpec{Process: "diurnal", Min: 0.5}
+		}, "clients[0].arrival.max"},
+		{"diurnal max below min", func(s *Spec) {
+			s.Clients[0].Arrival = ArrivalSpec{Process: "diurnal", Min: 2, Max: 1}
+		}, "clients[0].arrival.max"},
+		{"diurnal burst_noise above 1", func(s *Spec) {
+			s.Clients[0].Arrival = ArrivalSpec{Process: "diurnal", Max: 1.5, BurstNoise: 2}
+		}, "clients[0].arrival.burst_noise"},
+		{"diurnal zero period", func(s *Spec) {
+			s.Clients[0].Arrival = ArrivalSpec{Process: "diurnal", Max: 1.5, Periods: []PeriodSpec{{PeriodS: 0}}}
+		}, "clients[0].arrival.periods[0].period_s"},
+		{"diurnal negative period weight", func(s *Spec) {
+			s.Clients[0].Arrival = ArrivalSpec{Process: "diurnal", Max: 1.5, Periods: []PeriodSpec{{PeriodS: 60, Weight: -1}}}
+		}, "clients[0].arrival.periods[0].weight"},
+		{"diurnal phase out of range", func(s *Spec) {
+			s.Clients[0].Arrival = ArrivalSpec{Process: "diurnal", Max: 1.5, Periods: []PeriodSpec{{PeriodS: 60, Phase: 1}}}
+		}, "clients[0].arrival.periods[0].phase"},
+
+		{"trace without trace object", func(s *Spec) {
+			s.Clients[0].Arrival = ArrivalSpec{Process: "trace"}
+		}, "clients[0].arrival.trace"},
+		{"trace without file", func(s *Spec) {
+			s.Clients[0].Arrival = ArrivalSpec{Process: "trace", Trace: &TraceSpec{}}
+		}, "clients[0].arrival.trace.file"},
+		{"trace bad interp", func(s *Spec) {
+			s.Clients[0].Arrival = ArrivalSpec{Process: "trace", Trace: &TraceSpec{File: "x.csv", Interp: "cubic"}}
+		}, "clients[0].arrival.trace.interp"},
+		{"trace negative rate_qps", func(s *Spec) {
+			s.Clients[0].Arrival = ArrivalSpec{Process: "trace", Trace: &TraceSpec{File: "x.csv", RateQPS: -100}}
+		}, "clients[0].arrival.trace.rate_qps"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := validCustomSpec()
+			tc.mutate(s)
+			wantField(t, s.Validate(), tc.field)
+		})
+	}
+}
+
+func TestValidateErrorOrderIsDeterministic(t *testing.T) {
+	// Many defects at once: the joined message must be identical across
+	// repeated validations (no map-iteration order leaks).
+	s := validCustomSpec()
+	s.Version = 3
+	s.Service.Components[0].Sensitivity = SensitivitySpec{CPU: -1, LLC: -1, MemBW: -1, NetBW: -1}
+	s.Service.Components[0].Resources.MemoryGB = -1
+	s.Clients[0].Arrival.BinS = 2 // misplaced
+	s.Clients[0].Arrival.Burst = 2
+	want := s.Validate().Error()
+	for i := 0; i < 20; i++ {
+		if got := s.Validate().Error(); got != want {
+			t.Fatalf("validation error order changed between runs:\n%s\nvs\n%s", got, want)
+		}
+	}
+}
+
+func TestParseSpecStrictDecoding(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{"version": 1, "nmae": "typo"}`)); err == nil ||
+		!strings.Contains(err.Error(), "unknown field") {
+		t.Fatalf("unknown field err = %v", err)
+	}
+	if _, err := ParseSpec([]byte(`{"version": 1} {"more": true}`)); err == nil ||
+		!strings.Contains(err.Error(), "trailing data") {
+		t.Fatalf("trailing data err = %v", err)
+	}
+	if _, err := ParseSpec([]byte(`not json`)); err == nil {
+		t.Fatal("ParseSpec(garbage) succeeded")
+	}
+}
+
+func TestLoadSpecUnknownExtension(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "spec.toml")
+	if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSpec(p); err == nil || !strings.Contains(err.Error(), "unknown extension") {
+		t.Fatalf("err = %v, want unknown-extension", err)
+	}
+	if _, err := LoadSpec(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("LoadSpec(missing) succeeded")
+	}
+}
+
+// examplesDir points at the shipped scenarios from this package's tests.
+const examplesDir = "../../examples/scenarios"
+
+// TestShippedExamplesRoundTrip loads every shipped scenario end to end:
+// decode, validate, materialize the service, build the arrival pattern
+// and resolve the BE mix. Guards the examples against schema drift.
+func TestShippedExamplesRoundTrip(t *testing.T) {
+	ents, err := os.ReadDir(examplesDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		switch strings.ToLower(filepath.Ext(e.Name())) {
+		case ".json", ".yaml", ".yml":
+			files = append(files, filepath.Join(examplesDir, e.Name()))
+		}
+	}
+	if len(files) < 3 {
+		t.Fatalf("want >= 3 shipped scenarios in %s, found %d", examplesDir, len(files))
+	}
+	for _, f := range files {
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			spec, err := LoadSpec(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			svc, err := spec.BuildService()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(svc.Components) == 0 {
+				t.Fatal("materialized service has no components")
+			}
+			pat, err := spec.LoadPattern(2020)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := spec.BETypes(); err != nil {
+				t.Fatal(err)
+			}
+			// The composed mix must hover near baseline_load on average.
+			sum, n := 0.0, 0
+			for ts := time.Duration(0); ts < spec.Duration(); ts += 500 * time.Millisecond {
+				v := pat.Load(sim.Time(ts))
+				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("Load(%v) = %g", ts, v)
+				}
+				sum += v
+				n++
+			}
+			mean := sum / float64(n)
+			if mean < 0.2*spec.Run.BaselineLoad || mean > 2.5*spec.Run.BaselineLoad {
+				t.Fatalf("mean offered load %g is far from baseline %g", mean, spec.Run.BaselineLoad)
+			}
+		})
+	}
+}
+
+func TestLoadPatternDeterminism(t *testing.T) {
+	spec, err := LoadSpec(filepath.Join(examplesDir, "flash-crowd.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := spec.LoadPattern(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := spec.LoadPattern(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := spec.LoadPattern(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	differ := false
+	for ts := time.Duration(0); ts < spec.Duration(); ts += 100 * time.Millisecond {
+		a, b := p1.Load(sim.Time(ts)), p2.Load(sim.Time(ts))
+		if a != b {
+			t.Fatalf("same seed diverges at %v: %g vs %g", ts, a, b)
+		}
+		if a != p3.Load(sim.Time(ts)) {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Fatal("seeds 7 and 8 produced identical patterns")
+	}
+}
+
+func TestBuildServiceCustom(t *testing.T) {
+	s := validCustomSpec()
+	svc, err := s.BuildService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Name != "TestSvc" || svc.Domain != "scenario" {
+		t.Fatalf("svc = %q domain %q", svc.Name, svc.Domain)
+	}
+	if len(svc.Components) != 2 {
+		t.Fatalf("got %d components", len(svc.Components))
+	}
+	// Defaults applied: llc_ways 2, memory 8, microservices 1.
+	c := svc.Components[0]
+	if c.LLCWays != 2 || c.MemoryGB != 8 || c.Microservices != 1 {
+		t.Fatalf("defaults not applied: ways=%d mem=%g micro=%d", c.LLCWays, c.MemoryGB, c.Microservices)
+	}
+	if svc.Containers != 2 {
+		t.Fatalf("Containers = %d, want 2", svc.Containers)
+	}
+	if err := svc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildServiceCatalog(t *testing.T) {
+	s := validCustomSpec()
+	s.Service = ServiceSpec{Catalog: "Redis"}
+	svc, err := s.BuildService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := ByName("Redis")
+	if svc.Name != want.Name || len(svc.Components) != len(want.Components) {
+		t.Fatalf("catalog build returned %q (%d components), want %q (%d)",
+			svc.Name, len(svc.Components), want.Name, len(want.Components))
+	}
+}
+
+func TestSLOSeconds(t *testing.T) {
+	sla := 0.2
+	cases := []struct {
+		c    ClientSpec
+		want float64
+	}{
+		{ClientSpec{}, 0.2},              // default: 1 x SLA
+		{ClientSpec{SLOScale: 1.5}, 0.3}, // scaled
+		{ClientSpec{SLOMs: 500}, 0.5},    // absolute
+		{ClientSpec{SLOScale: 2, SLOMs: 0}, 0.4},
+	}
+	for i, tc := range cases {
+		if got := tc.c.SLOSeconds(sla); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("case %d: SLOSeconds = %g, want %g", i, got, tc.want)
+		}
+	}
+}
+
+func TestSpecTracePathResolution(t *testing.T) {
+	// A relative trace path resolves against the spec file's directory.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "t.csv"), []byte("t_s,load\n0,1\n60,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := validCustomSpec()
+	s.Clients[0].Arrival = ArrivalSpec{Process: "trace", Trace: &TraceSpec{File: "t.csv"}}
+	data, err := json.Marshal(struct {
+		Version int          `json:"version"`
+		Name    string       `json:"name"`
+		Service ServiceSpec  `json:"service"`
+		Run     RunSpec      `json:"run"`
+		Clients []ClientSpec `json:"clients"`
+	}{s.Version, s.Name, s.Service, s.Run, s.Clients})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := LoadSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spec.LoadPattern(1); err != nil {
+		t.Fatalf("LoadPattern with spec-relative trace: %v", err)
+	}
+	// The same spec parsed from memory (no dir) must fail to find t.csv
+	// unless the cwd happens to contain it.
+	mem, err := ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem.LoadPattern(1); err == nil {
+		t.Skip("cwd contains t.csv; skipping negative half")
+	}
+}
+
+func TestQPSTraceNeedsRate(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "q.jsonl"),
+		[]byte("{\"t_s\": 0, \"qps\": 100}\n{\"t_s\": 60, \"qps\": 300}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(ts TraceSpec) *Spec {
+		s := validCustomSpec()
+		s.dir = dir
+		s.Clients[0].Arrival = ArrivalSpec{Process: "trace", Trace: &ts}
+		return s
+	}
+	if _, err := mk(TraceSpec{File: "q.jsonl"}).LoadPattern(1); err == nil ||
+		!strings.Contains(err.Error(), "rate_qps") {
+		t.Fatalf("qps trace without rate_qps: err = %v", err)
+	}
+	if _, err := mk(TraceSpec{File: "q.jsonl", RateQPS: 200}).LoadPattern(1); err != nil {
+		t.Fatalf("qps trace with rate_qps: %v", err)
+	}
+	// And a load-mode trace must reject rate_qps.
+	if err := os.WriteFile(filepath.Join(dir, "l.csv"), []byte("t_s,load\n0,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mk(TraceSpec{File: "l.csv", RateQPS: 200}).LoadPattern(1); err == nil ||
+		!strings.Contains(err.Error(), "rate_qps") {
+		t.Fatalf("load trace with rate_qps: err = %v", err)
+	}
+}
+
+func TestDurationWarmupBETypes(t *testing.T) {
+	s := validCustomSpec()
+	s.Run.BEJobs = []string{"wordcount", "iperf"}
+	if got := s.Duration(); got != 60*time.Second {
+		t.Fatalf("Duration = %v", got)
+	}
+	if got := s.Warmup(); got != 10*time.Second {
+		t.Fatalf("Warmup = %v", got)
+	}
+	ts, err := s.BETypes()
+	if err != nil || len(ts) != 2 {
+		t.Fatalf("BETypes = %v, %v", ts, err)
+	}
+	s.Run.BEJobs = []string{"nope"}
+	if _, err := s.BETypes(); err == nil {
+		t.Fatal("BETypes accepted an unknown job")
+	}
+}

@@ -9,6 +9,21 @@
 // same physical machine. In the default placements below each component is
 // its own Servpod on its own machine, except SNMS where each Servpod
 // aggregates 13/3/14 microservices, mirroring §5.3.2.
+//
+// Beyond the Table 1 catalog, the package reads workload-spec scenario
+// files (spec.go, SCENARIOS.md): versioned JSON or YAML-subset documents
+// describing a service (catalog reference or custom DAG), multi-class
+// client mixes with per-class arrival processes and SLOs, and the run
+// shape. Specs validate with field-exact FieldErrors and materialize
+// through BuildService and LoadPattern.
+//
+// # Determinism and thread safety
+//
+// Catalog services and decoded specs are plain immutable data once
+// built. Spec-built patterns draw randomness only through sim.SubSeed
+// substreams labeled "scenario/<name>/client/<class>", so scenario runs
+// are byte-identical across -jobs counts and repeats at a fixed seed,
+// and every materialized pattern is safe for concurrent readers.
 package workload
 
 import (

@@ -1,0 +1,264 @@
+// A minimal YAML-subset reader for scenario specs (ParseSpecYAML). The
+// accepted subset — documented in SCENARIOS.md — is deliberately small:
+//
+//   - mappings ("key: value") nested by indentation (spaces only)
+//   - block sequences ("- item", including "- key: value" map items)
+//   - scalars: null, true/false, integers, floats, double-quoted strings
+//     (JSON escapes) and bare strings
+//   - comments ("#" to end of line) and blank lines
+//
+// No anchors, aliases, flow collections ([a, b] / {k: v}), multi-line
+// strings, tabs or multi-document streams: those all fail loudly. The
+// parsed document converts to the JSON data model and decodes through
+// the same strict path as a JSON spec, so the two formats cannot drift.
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// yamlLine is one significant line: its indent, its content with the
+// comment stripped, and its 1-based source line number for errors.
+type yamlLine struct {
+	indent int
+	text   string
+	num    int
+}
+
+// parseYAMLSubset parses the accepted YAML subset into the JSON data
+// model (map[string]any / []any / scalars).
+func parseYAMLSubset(data []byte) (any, error) {
+	lines, err := lexYAMLSubset(string(data))
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("yaml: empty document")
+	}
+	p := &yamlParser{lines: lines}
+	v, err := p.parseBlock(lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, fmt.Errorf("yaml: line %d: unexpected indentation", l.num)
+	}
+	return v, nil
+}
+
+// lexYAMLSubset splits the input into significant lines, stripping
+// comments and rejecting tabs in indentation.
+func lexYAMLSubset(src string) ([]yamlLine, error) {
+	var out []yamlLine
+	for i, raw := range strings.Split(src, "\n") {
+		num := i + 1
+		// Strip comments outside double quotes.
+		line := stripYAMLComment(raw)
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		indent := 0
+		for _, r := range line {
+			if r == ' ' {
+				indent++
+				continue
+			}
+			if r == '\t' {
+				return nil, fmt.Errorf("yaml: line %d: tabs are not allowed in indentation", num)
+			}
+			break
+		}
+		if strings.HasPrefix(trimmed, "---") {
+			return nil, fmt.Errorf("yaml: line %d: multi-document streams are not supported", num)
+		}
+		out = append(out, yamlLine{indent: indent, text: trimmed, num: num})
+	}
+	return out, nil
+}
+
+// stripYAMLComment removes a trailing "# ..." comment, honoring double
+// quotes so "#" inside a quoted scalar survives.
+func stripYAMLComment(line string) string {
+	inQuote := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			if !inQuote {
+				inQuote = true
+			} else if i == 0 || line[i-1] != '\\' {
+				inQuote = false
+			}
+		case '#':
+			if !inQuote {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+// parseBlock parses a mapping or sequence whose lines sit at exactly
+// indent; it stops at the first line with smaller indentation.
+func (p *yamlParser) parseBlock(indent int) (any, error) {
+	if p.pos >= len(p.lines) {
+		return nil, fmt.Errorf("yaml: unexpected end of document")
+	}
+	l := p.lines[p.pos]
+	if l.indent != indent {
+		return nil, fmt.Errorf("yaml: line %d: inconsistent indentation (got %d spaces, block uses %d)", l.num, l.indent, indent)
+	}
+	if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+		return p.parseSequence(indent)
+	}
+	return p.parseMapping(indent)
+}
+
+// parseMapping parses consecutive "key: value" lines at indent.
+func (p *yamlParser) parseMapping(indent int) (any, error) {
+	m := map[string]any{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, fmt.Errorf("yaml: line %d: unexpected indentation", l.num)
+		}
+		if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+			return nil, fmt.Errorf("yaml: line %d: sequence item in a mapping block", l.num)
+		}
+		key, rest, err := splitYAMLKey(l)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("yaml: line %d: duplicate key %q", l.num, key)
+		}
+		p.pos++
+		if rest != "" {
+			m[key] = yamlScalar(rest)
+			continue
+		}
+		// No inline value: a nested block if the next line is deeper,
+		// null otherwise.
+		if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+			v, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+		} else {
+			m[key] = nil
+		}
+	}
+	return m, nil
+}
+
+// parseSequence parses consecutive "- item" lines at indent.
+func (p *yamlParser) parseSequence(indent int) (any, error) {
+	var seq []any
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, fmt.Errorf("yaml: line %d: unexpected indentation", l.num)
+		}
+		if !strings.HasPrefix(l.text, "- ") && l.text != "-" {
+			return nil, fmt.Errorf("yaml: line %d: mapping key in a sequence block", l.num)
+		}
+		item := strings.TrimSpace(strings.TrimPrefix(l.text, "-"))
+		if item == "" {
+			// "-" alone: the item is the deeper block that follows.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				seq = append(seq, nil)
+				continue
+			}
+			v, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+			continue
+		}
+		if _, _, err := splitYAMLKey(yamlLine{text: item, num: l.num}); err == nil {
+			// "- key: value": a map item. Rewrite the line as the map's
+			// first key, indented where continuation keys sit, and parse
+			// the item as a mapping block.
+			itemIndent := indent + (len(l.text) - len(item))
+			p.lines[p.pos] = yamlLine{indent: itemIndent, text: item, num: l.num}
+			v, err := p.parseMapping(itemIndent)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+			continue
+		}
+		// Scalar item.
+		p.pos++
+		seq = append(seq, yamlScalar(item))
+	}
+	return seq, nil
+}
+
+// splitYAMLKey splits "key: value" (or "key:") into key and the inline
+// remainder; quoted keys are not supported.
+func splitYAMLKey(l yamlLine) (key, rest string, err error) {
+	idx := strings.Index(l.text, ":")
+	if idx < 0 {
+		return "", "", fmt.Errorf("yaml: line %d: expected \"key: value\", got %q", l.num, l.text)
+	}
+	key = strings.TrimSpace(l.text[:idx])
+	rest = strings.TrimSpace(l.text[idx+1:])
+	if key == "" {
+		return "", "", fmt.Errorf("yaml: line %d: empty mapping key", l.num)
+	}
+	if strings.HasPrefix(key, "\"") {
+		return "", "", fmt.Errorf("yaml: line %d: quoted keys are not supported", l.num)
+	}
+	if rest != "" && !strings.HasPrefix(l.text[idx:], ": ") {
+		return "", "", fmt.Errorf("yaml: line %d: missing space after \":\" in %q", l.num, l.text)
+	}
+	return key, rest, nil
+}
+
+// yamlScalar interprets an inline scalar: null, booleans, numbers,
+// double-quoted strings (JSON escapes), else a bare string. A flow
+// collection ("[a, b]") lands here as a bare string and then fails the
+// strict typed decode, which is how the unsupported syntax stays loud.
+func yamlScalar(tok string) any {
+	switch tok {
+	case "null", "~":
+		return nil
+	case "true":
+		return true
+	case "false":
+		return false
+	}
+	if strings.HasPrefix(tok, "\"") {
+		var s string
+		if err := json.Unmarshal([]byte(tok), &s); err == nil {
+			return s
+		}
+		return tok
+	}
+	if i, err := strconv.ParseInt(tok, 10, 64); err == nil {
+		return i
+	}
+	if f, err := strconv.ParseFloat(tok, 64); err == nil {
+		return f
+	}
+	return tok
+}

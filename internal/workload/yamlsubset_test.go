@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestYAMLSubsetScalars(t *testing.T) {
+	doc, err := parseYAMLSubset([]byte(`
+a: null
+b: ~
+c: true
+d: false
+e: 42
+f: 3.5
+g: "quoted # not a comment"
+h: bare string
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"a": nil, "b": nil, "c": true, "d": false,
+		"e": int64(42), "f": 3.5,
+		"g": "quoted # not a comment", "h": "bare string",
+	}
+	if !reflect.DeepEqual(doc, want) {
+		t.Fatalf("got %#v\nwant %#v", doc, want)
+	}
+}
+
+func TestYAMLSubsetNesting(t *testing.T) {
+	doc, err := parseYAMLSubset([]byte(`
+top:
+  child: 1
+  list:
+    - 1
+    - key: a    # inline map item
+      more: b
+    -
+      deep: true
+empty:
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"top": map[string]any{
+			"child": int64(1),
+			"list": []any{
+				int64(1),
+				map[string]any{"key": "a", "more": "b"},
+				map[string]any{"deep": true},
+			},
+		},
+		"empty": nil,
+	}
+	if !reflect.DeepEqual(doc, want) {
+		t.Fatalf("got %#v\nwant %#v", doc, want)
+	}
+}
+
+func TestYAMLSubsetTopLevelSequence(t *testing.T) {
+	doc, err := parseYAMLSubset([]byte("- a\n- b\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(doc, []any{"a", "b"}) {
+		t.Fatalf("got %#v", doc)
+	}
+}
+
+func TestYAMLSubsetErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"empty", "\n# only comments\n", "empty document"},
+		{"tab indent", "a:\n\tb: 1\n", "tabs"},
+		{"multi-doc", "---\na: 1\n", "multi-document"},
+		{"duplicate key", "a: 1\na: 2\n", "duplicate key"},
+		{"bad key line", "a: 1\njust words\n", "expected \"key: value\""},
+		{"quoted key", "\"a\": 1\n", "quoted keys"},
+		{"missing space", "a:1\n", "missing space"},
+		{"seq in mapping", "a: 1\n- b\n", "sequence item in a mapping"},
+		{"mapping in seq", "- a\nb: 1\n", "mapping key in a sequence"},
+		{"bad dedent", "a:\n    b: 1\n  c: 2\n", "indentation"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseYAMLSubset([]byte(tc.src))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestYAMLSubsetFlowCollectionStaysLoud(t *testing.T) {
+	// Flow syntax parses as a bare string, which the strict typed decode
+	// then rejects — unsupported YAML can never silently misparse a spec.
+	doc, err := parseYAMLSubset([]byte("be_jobs: [a, b]\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := doc.(map[string]any)
+	if !ok {
+		t.Fatalf("doc = %#v", doc)
+	}
+	if _, isString := m["be_jobs"].(string); !isString {
+		t.Fatalf("flow collection parsed as %#v, want a bare string", m["be_jobs"])
+	}
+}
+
+func TestParseSpecYAMLMatchesJSON(t *testing.T) {
+	// The same scenario through both formats must produce equal specs.
+	const yamlSrc = `
+version: 1
+name: pair
+service:
+  catalog: Redis
+run:
+  baseline_load: 0.5
+  duration_s: 30
+clients:
+  - class: all
+    rate_fraction: 1
+    arrival:
+      process: constant
+      level: 1.0
+`
+	const jsonSrc = `{
+  "version": 1, "name": "pair",
+  "service": {"catalog": "Redis"},
+  "run": {"baseline_load": 0.5, "duration_s": 30},
+  "clients": [{"class": "all", "rate_fraction": 1,
+               "arrival": {"process": "constant", "level": 1.0}}]
+}`
+	fromYAML, err := ParseSpecYAML([]byte(yamlSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := ParseSpec([]byte(jsonSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromYAML, fromJSON) {
+		t.Fatalf("YAML and JSON decode differ:\n%#v\nvs\n%#v", fromYAML, fromJSON)
+	}
+}
+
+func TestParseSpecYAMLUnknownField(t *testing.T) {
+	_, err := ParseSpecYAML([]byte("version: 1\nnmae: typo\n"))
+	if err == nil || !strings.Contains(err.Error(), "unknown field") {
+		t.Fatalf("err = %v, want strict-decode unknown-field error", err)
+	}
+}

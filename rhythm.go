@@ -42,6 +42,7 @@ import (
 	"rhythm/internal/loadgen"
 	"rhythm/internal/obs"
 	"rhythm/internal/profiler"
+	"rhythm/internal/replay"
 	"rhythm/internal/workload"
 )
 
@@ -112,6 +113,15 @@ type (
 	Bus = obs.Bus
 	// Sink consumes observability events (NewJSONLSink, NewChromeSink).
 	Sink = obs.Sink
+	// ScenarioSpec is a workload-spec scenario file (SCENARIOS.md):
+	// service, client classes with arrival processes and per-class SLOs,
+	// and the run shape, loaded via LoadScenario.
+	ScenarioSpec = workload.Spec
+	// ScenarioClient is one client class of a scenario.
+	ScenarioClient = workload.ClientSpec
+	// ReplayTrace is a recorded-traffic trace (CSV/JSONL) usable as a
+	// load pattern via its Pattern method.
+	ReplayTrace = replay.Trace
 )
 
 // The seven BE job types of Table 1.
@@ -217,6 +227,21 @@ func ConstantLoad(frac float64) LoadPattern { return loadgen.Constant(frac) }
 func DiurnalLoad(period time.Duration, min, max, burst float64, seed uint64) (LoadPattern, error) {
 	return loadgen.NewDiurnal(period, min, max, burst, seed)
 }
+
+// LoadScenario reads and validates a workload-spec file (.json or
+// .yaml/.yml; SCENARIOS.md documents the format). The spec materializes
+// into runnable pieces via BuildService, LoadPattern, BETypes, Duration
+// and Warmup; relative trace paths resolve against the spec file's
+// directory.
+func LoadScenario(path string) (*ScenarioSpec, error) { return workload.LoadSpec(path) }
+
+// ParseScenario decodes and validates a JSON workload spec from memory.
+func ParseScenario(data []byte) (*ScenarioSpec, error) { return workload.ParseSpec(data) }
+
+// OpenTrace reads a recorded-traffic trace file (.csv, .jsonl or
+// .ndjson; see SCENARIOS.md for the line formats). Trace.Pattern turns
+// it into a LoadPattern.
+func OpenTrace(path string) (*ReplayTrace, error) { return replay.Open(path) }
 
 // Improvement returns (rhythm-heracles)/heracles, the paper's relative
 // improvement metric.
