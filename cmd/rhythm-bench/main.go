@@ -16,7 +16,9 @@
 //
 // ns_per_op is wall time and varies with the host; allocs_per_op and
 // bytes_per_op are deterministic for a given build and are what the
-// acceptance gates compare across PRs.
+// acceptance gates compare across PRs. Benchmarks that call
+// b.ReportMetric also carry an "extras" object (FleetTick reports
+// "machines/s", the fleet-scale throughput gate).
 //
 // Diff mode:
 //
@@ -54,6 +56,9 @@ type result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Extras carries custom b.ReportMetric values (FleetTick's
+	// machines/s throughput); omitted for benchmarks that report none.
+	Extras map[string]float64 `json:"extras,omitempty"`
 }
 
 type report struct {
@@ -73,6 +78,7 @@ var registry = []struct {
 	{"TailTrackerAdd", benchmarks.TailTrackerAdd},
 	{"TailTrackerAddP99", benchmarks.TailTrackerAddP99},
 	{"EngineTick", benchmarks.EngineTick},
+	{"FleetTick", benchmarks.FleetTick},
 	{"PathP99", benchmarks.PathP99},
 	{"ObsDisabled", benchmarks.ObsDisabled},
 }
@@ -121,13 +127,20 @@ func realMain(argv []string, stdout, stderr io.Writer) int {
 	}
 	for _, entry := range registry {
 		r := testing.Benchmark(entry.fn)
-		rep.Benchmarks = append(rep.Benchmarks, result{
+		res := result{
 			Name:        entry.name,
 			Iters:       r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
-		})
+		}
+		if len(r.Extra) > 0 {
+			res.Extras = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				res.Extras[k] = v
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, res)
 		fmt.Fprintf(stderr, "%-20s %10d iters  %12.1f ns/op  %6d allocs/op  %8d B/op\n",
 			entry.name, r.N, float64(r.T.Nanoseconds())/float64(r.N),
 			r.AllocsPerOp(), r.AllocedBytesPerOp())

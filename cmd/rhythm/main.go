@@ -39,6 +39,10 @@
 //	              the on-demand scenario experiment (`run scenario`).
 //	              The scenario family is excluded from `run all`, so the
 //	              golden evaluation output never depends on this flag.
+//	-fleet P      fleet-size preset (fleet4, fleet100, fleet1000) for the
+//	              on-demand fleet experiment (`run fleet`; default
+//	              fleet100). Like scenario, the fleet family is excluded
+//	              from `run all`.
 //
 // Exit codes: 0 on success, 1 when an experiment or profile fails while
 // running, 2 for usage errors (unknown command or experiment id, missing
@@ -84,10 +88,12 @@ func realMain(argv []string, stdout, rawStderr io.Writer) int {
 	var traceFlags cliflags.Trace
 	var faultFlags cliflags.Faults
 	var scenFlags cliflags.Scenario
+	var fleetFlags cliflags.Fleet
 	common.Register(fs)
 	traceFlags.Register(fs)
 	faultFlags.Register(fs)
 	scenFlags.Register(fs)
+	fleetFlags.Register(fs)
 	fs.Usage = func() { usage(fs, stderr) }
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -99,7 +105,7 @@ func realMain(argv []string, stdout, rawStderr io.Writer) int {
 	}
 	// The shared validation path (internal/cliflags) rejects -jobs < 1
 	// and unknown trace formats with the same messages in every binary.
-	for _, err := range []error{common.Validate(), traceFlags.Validate()} {
+	for _, err := range []error{common.Validate(), traceFlags.Validate(), fleetFlags.Validate()} {
 		if err != nil {
 			fmt.Fprintf(stderr, "rhythm: %v\n", err)
 			return 2
@@ -181,7 +187,7 @@ func realMain(argv []string, stdout, rawStderr io.Writer) int {
 
 	ctx := experiments.NewContext(experiments.Options{
 		Quick: common.Quick, Seed: common.Seed, Jobs: common.Jobs, Faults: sched,
-		Scenario: spec,
+		Scenario: spec, Fleet: fleetFlags.Preset,
 	})
 	switch args[0] {
 	case "list":

@@ -68,6 +68,23 @@ type Spec struct {
 	SoloHours float64
 }
 
+// MinDispatchCores is the smallest free-core count at which placing the
+// job on a machine is worthwhile: an eighth of its solo footprint,
+// rounded up, at least one core. Placement itself only grants the §3.5.2
+// starting slice (a single core), so any machine can technically host
+// any job — but Rate is linear in granted cores, so a machine that can
+// never grow the instance past SoloCores/8 pins it below 12.5% of its
+// solo rate, stretching a half-hour job past four hours while it holds
+// memory and a BE slot the whole time. The cluster scheduler
+// (internal/scheduler) treats such a machine as a non-fit and keeps the
+// job queued for one with real headroom.
+func (s Spec) MinDispatchCores() int {
+	if min := (s.SoloCores + 7) / 8; min > 1 {
+		return min
+	}
+	return 1
+}
+
 // catalog holds the calibrated BE specs. Pressure magnitudes are chosen so
 // that "big" variants saturate their resource on the default machine
 // (68 GB/s memBW, 20 ways, 10 Gb/s) when running solo, matching the §2

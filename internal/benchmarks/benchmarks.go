@@ -13,6 +13,10 @@
 //   - EngineTick: one full engine tick — sojourn modeling, utilization
 //     accounting, SamplesPerTick end-to-end latency draws through the call
 //     graph, tail-tracker maintenance.
+//   - FleetTick: one fleet epoch over a 100-machine fleet — the parallel
+//     per-machine slices plus the serial scheduler barrier — reported
+//     both as ns/op and as a machines/s throughput metric (the
+//     datacenter-scale gate).
 //   - PathP99: the Monte Carlo path-tail estimator used by profiling.
 //   - ObsDisabled: every observability emit point with no bus installed —
 //     the nil-check path the engine hot loop pays on untraced runs, pinned
@@ -23,7 +27,9 @@ import (
 	"testing"
 	"time"
 
+	"rhythm/internal/controller"
 	"rhythm/internal/engine"
+	"rhythm/internal/fleet"
 	"rhythm/internal/loadgen"
 	"rhythm/internal/metrics"
 	"rhythm/internal/obs"
@@ -106,6 +112,40 @@ func EngineTick(b *testing.B) {
 		now = now.Add(dt)
 		e.Step(now, 0.7)
 	}
+}
+
+// FleetTick measures one epoch of a 100-machine fleet (25 E-commerce
+// replicas under the uniform Heracles policy, constant 60% load): 100
+// engines advancing one 2 s control period each plus the shared-queue
+// barrier (evictions, dispatch, admissions). Throughput is additionally
+// reported as machines/s — machine-epochs advanced per wall second — the
+// ROADMAP item 1 scale gate.
+func FleetTick(b *testing.B) {
+	entries := []fleet.Entry{{
+		Service:  workload.ECommerce(),
+		Replicas: 25, // 4 components each: 100 machines
+		Policy:   controller.NewHeracles(),
+	}}
+	f, err := fleet.New(fleet.Config{
+		Entries:  entries,
+		Pattern:  loadgen.Constant(0.6),
+		Duration: time.Hour, // nominal; the benchmark drives Step directly
+		Seed:     2020,
+		Jobs:     1, // single worker: measure the work, not the pool
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm past the engines' inertia transient.
+	for i := 0; i < 5; i++ {
+		f.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Step()
+	}
+	b.ReportMetric(float64(f.Machines()*b.N)/b.Elapsed().Seconds(), "machines/s")
 }
 
 // PathP99 measures the Monte Carlo path-tail estimator over the four-stage

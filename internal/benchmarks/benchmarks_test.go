@@ -16,6 +16,7 @@ import (
 func BenchmarkTailTrackerAdd(b *testing.B)    { TailTrackerAdd(b) }
 func BenchmarkTailTrackerAddP99(b *testing.B) { TailTrackerAddP99(b) }
 func BenchmarkEngineTick(b *testing.B)        { EngineTick(b) }
+func BenchmarkFleetTick(b *testing.B)         { FleetTick(b) }
 func BenchmarkPathP99(b *testing.B)           { PathP99(b) }
 func BenchmarkObsDisabled(b *testing.B)       { ObsDisabled(b) }
 

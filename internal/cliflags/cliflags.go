@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"rhythm/internal/faults"
+	"rhythm/internal/fleet"
 	"rhythm/internal/workload"
 )
 
@@ -120,6 +121,31 @@ func (f *Faults) Resolve(seed uint64, span time.Duration) (*faults.Schedule, err
 		return nil, fmt.Errorf("-faults: %w", err)
 	}
 	return sched, nil
+}
+
+// Fleet is the -fleet selector: empty (the default preset), or a named
+// fleet-size preset for the fleet experiment.
+type Fleet struct {
+	Preset string
+}
+
+// Register binds -fleet.
+func (f *Fleet) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Preset, "fleet", "",
+		"fleet-size preset for the fleet experiment ("+
+			strings.Join(fleet.Presets(), ", ")+"; default "+fleet.DefaultPreset+")")
+}
+
+// Validate rejects unknown presets (empty means the default and is
+// valid).
+func (f *Fleet) Validate() error {
+	if f.Preset == "" {
+		return nil
+	}
+	if _, err := fleet.PresetProfile(f.Preset); err != nil {
+		return fmt.Errorf("-fleet: %w", err)
+	}
+	return nil
 }
 
 // Scenario is the -scenario selector: empty (no scenario), or a path to

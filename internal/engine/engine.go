@@ -93,6 +93,14 @@ type Config struct {
 	// fault-free run is byte-identical to one on a build without the
 	// faults subsystem at all.
 	Faults *faults.Schedule
+	// ExternalBE hands BE admission to an external dispatcher (the fleet
+	// layer's shared scheduler.Scheduler): AllowBEGrowth still grows
+	// resident instances but never self-launches; new instances arrive
+	// only through AdmitBE, and every kill or crash is recorded for
+	// TakeEvicted so the dispatcher can re-queue the job (§4's "interact
+	// with scheduler" protocol). BETypes may be empty in this mode — the
+	// dispatcher names the type per admission.
+	ExternalBE bool
 }
 
 // FieldError is a Config validation failure naming the exact field it
@@ -322,6 +330,12 @@ type podRuntime struct {
 	suspended bool
 	stats     *PodStats
 
+	// lastAction is the top controller's most recent decision for this
+	// machine; it is the §4 feedback signal MachineViews reports to the
+	// cluster scheduler (zero value StopBE: not accepting before the
+	// first control tick).
+	lastAction controller.Action
+
 	cpu     metrics.Usage
 	mbw     metrics.Usage
 	bet     metrics.Usage
@@ -377,6 +391,19 @@ type Engine struct {
 	meanP99N     int
 	lastObserve  sim.Time
 
+	// Incremental-run state. Run is a single RunUntil sweep; the fleet
+	// layer instead calls RunUntil once per epoch, interleaving dispatch
+	// barriers between slices. cursor is the next tick to execute,
+	// nextControl the next control-tick boundary; both persist across
+	// RunUntil calls so a chunked run is bitwise identical to one sweep.
+	cursor      sim.Time
+	nextControl sim.Time
+	clock       *sim.Clock
+
+	// evicted accumulates killed/crashed BE instances for TakeEvicted;
+	// only populated under Config.ExternalBE.
+	evicted []EvictedBE
+
 	// Fault-injection state. lastFaultScan is the previous tick time: the
 	// (lastFaultScan, now] window makes each crash fire exactly once and
 	// each fault edge report exactly once. staleP99 is the last clean
@@ -413,6 +440,8 @@ func New(cfg Config) (*Engine, error) {
 		tail:          metrics.NewTailTracker(3 * time.Second),
 		rng:           sim.NewRNG(cfg.Seed).Fork("engine"),
 		lastFaultScan: sim.Time(-1),
+		clock:         sim.NewClock(),
+		nextControl:   sim.Time(0).Add(cfg.ControlPeriod),
 		stats: &RunStats{
 			PerPod: make(map[string]*PodStats),
 			Series: make(map[string]*metrics.Series),
@@ -523,7 +552,6 @@ func (e *Engine) Run(duration time.Duration) (*RunStats, error) {
 	if duration <= 0 {
 		return nil, fmt.Errorf("engine: non-positive run duration %v", duration)
 	}
-	clock := sim.NewClock()
 	e.stats.Duration = duration
 	end := sim.Time(0).Add(duration)
 
@@ -532,9 +560,26 @@ func (e *Engine) Run(duration time.Duration) (*RunStats, error) {
 		e.obsScope.RunPhase(0, "start", fmt.Sprintf("service=%s policy=%s sla=%gs duration=%v seed=%d",
 			e.cfg.Service.Name, e.stats.Policy, e.cfg.SLA, duration, e.cfg.Seed))
 	}
-	nextControl := sim.Time(0).Add(e.cfg.ControlPeriod)
-	for now := sim.Time(0); now < end; now = now.Add(e.cfg.TickDt) {
-		clock.RunUntil(now)
+	e.RunUntil(end)
+	if e.obsScope.Enabled() {
+		e.obsScope.RunPhase(int64(end), "end", fmt.Sprintf("worst_p99=%gs violations=%d",
+			e.stats.WorstP99, e.stats.Violations))
+	}
+	return e.stats, nil
+}
+
+// RunUntil advances the simulation up to (but not including) end on the
+// tick grid and returns the stats so far. The tick cursor and the control
+// boundary persist across calls, so running one 20 s sweep and running
+// ten 2 s slices execute the identical tick/control sequence and consume
+// the identical RNG streams — the invariant that lets the fleet layer
+// interleave scheduler barriers between slices without perturbing any
+// per-machine byte. The caller owns end-of-run bookkeeping (stats.Duration,
+// obs run brackets); Run wraps this with both.
+func (e *Engine) RunUntil(end sim.Time) *RunStats {
+	for ; e.cursor < end; e.cursor = e.cursor.Add(e.cfg.TickDt) {
+		now := e.cursor
+		e.clock.RunUntil(now)
 		load := e.cfg.Pattern.Load(now)
 		if e.cfg.Faults != nil {
 			// Load surges multiply the offered pattern; both the tick
@@ -543,17 +588,17 @@ func (e *Engine) Run(duration time.Duration) (*RunStats, error) {
 			load *= e.cfg.Faults.LoadMul(now)
 		}
 		e.tick(now, load)
-		if now >= nextControl {
+		if now >= e.nextControl {
 			e.controlTick(now, load)
-			nextControl = nextControl.Add(e.cfg.ControlPeriod)
+			e.nextControl = e.nextControl.Add(e.cfg.ControlPeriod)
 		}
 	}
-	if e.obsScope.Enabled() {
-		e.obsScope.RunPhase(int64(end), "end", fmt.Sprintf("worst_p99=%gs violations=%d",
-			e.stats.WorstP99, e.stats.Violations))
-	}
-	return e.stats, nil
+	return e.stats
 }
+
+// Now returns the next tick the engine will execute (virtual time reached
+// so far).
+func (e *Engine) Now() sim.Time { return e.cursor }
 
 // Step advances the engine by exactly one simulation tick at the given
 // virtual time and load fraction, without running the controllers. It is
@@ -741,6 +786,9 @@ func (e *Engine) crashBE(p *podRuntime, now sim.Time) {
 		if in.State == bejobs.Running || in.State == bejobs.Suspended {
 			in.State = bejobs.Killed
 			p.stats.Crashes++
+			if e.cfg.ExternalBE {
+				e.evicted = append(e.evicted, EvictedBE{Pod: p.comp.Name, ID: in.ID, Type: in.Spec.Type, Crashed: true})
+			}
 		}
 		p.agent.KillBE(in.ID)
 		e.beEvent(now, p, in.ID, "crash")
@@ -830,7 +878,7 @@ func (e *Engine) controlTick(now sim.Time, load float64) {
 	if !math.IsNaN(p99) {
 		e.obsP99H.Observe(p99)
 	}
-	hasBE := e.cfg.Policy != nil && len(e.cfg.BETypes) > 0
+	hasBE := e.cfg.Policy != nil && (len(e.cfg.BETypes) > 0 || e.cfg.ExternalBE)
 	for _, p := range e.pods {
 		var act controller.Action
 		switch {
@@ -847,6 +895,7 @@ func (e *Engine) controlTick(now sim.Time, load float64) {
 			p.degraded = 0
 			act = e.cfg.Policy.Decide(p.comp.Name, load, slack)
 		}
+		p.lastAction = act
 		if e.obsScope.Enabled() {
 			reason := "no BE policy"
 			switch {
@@ -885,6 +934,9 @@ func (e *Engine) apply(p *podRuntime, act controller.Action, now sim.Time, load,
 			if in.State == bejobs.Running || in.State == bejobs.Suspended {
 				in.State = bejobs.Killed
 				p.stats.Kills++
+				if e.cfg.ExternalBE {
+					e.evicted = append(e.evicted, EvictedBE{Pod: p.comp.Name, ID: in.ID, Type: in.Spec.Type})
+				}
 			}
 			p.agent.KillBE(in.ID)
 			e.beEvent(now, p, in.ID, "kill")
@@ -941,7 +993,10 @@ func (e *Engine) apply(p *podRuntime, act controller.Action, now sim.Time, load,
 				e.beEvent(now, p, in.ID, "grow")
 			}
 		}
-		if len(p.instances) < e.cfg.MaxBEPerMachine {
+		// Under ExternalBE the dispatcher owns admission: the machine
+		// only signals Accepting (via MachineViews) and waits for
+		// AdmitBE.
+		if !e.cfg.ExternalBE && len(p.instances) < e.cfg.MaxBEPerMachine {
 			e.launch(p, now)
 		}
 	}
@@ -999,6 +1054,84 @@ func (e *Engine) launch(p *podRuntime, now sim.Time) {
 	p.beSeq++
 	p.instances = append(p.instances, in)
 	e.beEvent(now, p, id, "launch")
+}
+
+// EvictedBE is one BE instance the machine evicted — a policy kill
+// (StopBE) or a fault crash — reported to the external dispatcher so it
+// can re-queue the job (§1: BE jobs are second-class citizens that may be
+// rescheduled at any time).
+type EvictedBE struct {
+	Pod     string
+	ID      string
+	Type    bejobs.Type
+	Crashed bool
+}
+
+// MachineView is one machine's report to the cluster scheduler: the top
+// controller's accept/deny feedback (§4) plus free capacity, in the shape
+// scheduler.MachineState wants.
+type MachineView struct {
+	Pod          string
+	Accepting    bool
+	FreeCores    int
+	FreeMemoryGB float64
+	Resident     int
+}
+
+// MachineViews appends one view per machine to dst (in pod order, the
+// stable order dispatch tie-breaks rely on) and returns it. A machine
+// accepts when its last top-controller decision was AllowBEGrowth and it
+// has a BE slot free; before the first control tick nothing accepts.
+func (e *Engine) MachineViews(dst []MachineView) []MachineView {
+	for _, p := range e.pods {
+		dst = append(dst, MachineView{
+			Pod:          p.comp.Name,
+			Accepting:    p.lastAction == controller.AllowBEGrowth && len(p.instances) < e.cfg.MaxBEPerMachine,
+			FreeCores:    p.machine.FreeCores(),
+			FreeMemoryGB: p.machine.FreeMemoryGB(),
+			Resident:     len(p.instances),
+		})
+	}
+	return dst
+}
+
+// AdmitBE places one externally dispatched BE instance on the named
+// machine with the §3.5.2 starting slice. It reports false — and leaves
+// the machine untouched — when the engine is not in ExternalBE mode, the
+// pod is unknown or full, a crash restart delay is pending, or the
+// isolation agent has no headroom for even the starting slice; the
+// dispatcher should then re-queue the job.
+func (e *Engine) AdmitBE(pod string, ty bejobs.Type, id string) bool {
+	if !e.cfg.ExternalBE {
+		return false
+	}
+	p, ok := e.podByName[pod]
+	if !ok || len(p.instances) >= e.cfg.MaxBEPerMachine {
+		return false
+	}
+	if e.cfg.Faults != nil && e.cfg.Faults.CrashBlocked(e.cursor, pod) {
+		return false
+	}
+	if err := p.agent.LaunchBE(id); err != nil {
+		return false
+	}
+	in, err := bejobs.NewInstance(id, ty)
+	if err != nil {
+		p.agent.KillBE(id)
+		return false
+	}
+	p.beSeq++
+	p.instances = append(p.instances, in)
+	e.beEvent(e.cursor, p, id, "launch")
+	return true
+}
+
+// TakeEvicted returns the BE instances evicted since the last call and
+// resets the list. Only populated under Config.ExternalBE.
+func (e *Engine) TakeEvicted() []EvictedBE {
+	ev := e.evicted
+	e.evicted = nil
+	return ev
 }
 
 // record appends the Fig. 17 series for one pod.

@@ -111,6 +111,10 @@ type Options struct {
 	// experiment; the scenario family is excluded from IDs()/`run all`,
 	// so this field never affects the golden evaluation output.
 	Scenario *workload.Spec
+	// Fleet names the fleet-size preset the on-demand "fleet" experiment
+	// runs (the CLI's -fleet flag); empty selects fleet.DefaultPreset.
+	// Like Scenario, the fleet family is excluded from IDs()/`run all`.
+	Fleet string
 }
 
 func (o Options) withDefaults() Options {

@@ -58,6 +58,14 @@ func poisson(r *sim.RNG, mean float64) float64 {
 	return math.Round(v)
 }
 
+// Poisson draws a Poisson variate with the given mean from r. It is the
+// sampler behind PoissonBins, exported for callers that need raw arrival
+// counts rather than a normalized intensity (the fleet layer's per-epoch
+// BE job arrivals). Determinism follows from r alone: hand it a
+// counter-keyed substream (sim.SubSeed) and the same bin always yields
+// the same count.
+func Poisson(r *sim.RNG, mean float64) float64 { return poisson(r, mean) }
+
 // PoissonBins is the memoryless arrival process: independent Poisson
 // counts per fixed time bin, normalized by the expected count so the
 // intensity has mean 1. MeanPerBin is the expected number of arrivals in

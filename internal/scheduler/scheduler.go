@@ -8,7 +8,9 @@
 // The engine embeds a per-machine admission loop for single-service runs;
 // this package provides the multi-machine, multi-tenant view a datacenter
 // deployment needs: fair dispatch across machines, bounded queue, and
-// accounting of waiting times.
+// accounting of waiting times. The fleet layer (internal/fleet) drives it
+// serially at epoch barriers between parallel per-machine simulation
+// slices.
 package scheduler
 
 import (
@@ -49,12 +51,16 @@ type Assignment struct {
 }
 
 // Scheduler is the BE job queue plus dispatch logic. It is not safe for
-// concurrent use; the simulation is single-threaded.
+// concurrent use; the fleet layer drives it serially at epoch barriers.
 type Scheduler struct {
-	limit   int
-	queue   []Job
-	seq     int
-	dropped int
+	limit int
+	queue []Job
+	seq   int
+
+	submitted      int
+	dropped        int
+	requeued       int
+	requeueDropped int
 
 	dispatched int
 	totalWait  sim.Time
@@ -80,48 +86,87 @@ func (s *Scheduler) Submit(t bejobs.Type, now sim.Time) (Job, error) {
 		return Job{}, fmt.Errorf("scheduler: queue full (%d jobs)", s.limit)
 	}
 	s.seq++
+	s.submitted++
 	j := Job{ID: fmt.Sprintf("be-%d", s.seq), Type: t, SubmittedAt: now}
 	s.queue = append(s.queue, j)
 	return j, nil
 }
 
 // Requeue puts a killed job back at the head of the queue (BE jobs are
-// "second-class citizens" that may be rescheduled at any time — §1).
-func (s *Scheduler) Requeue(j Job) {
+// "second-class citizens" that may be rescheduled at any time — §1). It
+// reports whether the job was taken back: false means the queue was full
+// and live work is gone, counted under RequeueDropped — deliberately
+// separate from Dropped, which counts rejected fresh submissions, so a
+// caller watching the stats can tell admission pressure from work loss.
+func (s *Scheduler) Requeue(j Job) bool {
 	if len(s.queue) >= s.limit {
-		s.dropped++
-		return
+		s.requeueDropped++
+		return false
 	}
+	s.requeued++
 	s.queue = append([]Job{j}, s.queue...)
+	return true
 }
 
 // Pending returns the number of queued jobs.
 func (s *Scheduler) Pending() int { return len(s.queue) }
 
-// Dropped returns how many submissions were rejected.
+// Submitted returns how many submissions were accepted into the queue.
+func (s *Scheduler) Submitted() int { return s.submitted }
+
+// Dropped returns how many fresh submissions were rejected on a full
+// queue.
 func (s *Scheduler) Dropped() int { return s.dropped }
 
-// MeanWait returns the mean queueing delay of dispatched jobs.
-func (s *Scheduler) MeanWait() sim.Time {
+// Requeued returns how many killed jobs were taken back into the queue.
+func (s *Scheduler) Requeued() int { return s.requeued }
+
+// RequeueDropped returns how many killed jobs were lost because the
+// queue was full when they came back.
+func (s *Scheduler) RequeueDropped() int { return s.requeueDropped }
+
+// Dispatched returns how many assignments Dispatch has made (a requeued
+// job counts once per dispatch).
+func (s *Scheduler) Dispatched() int { return s.dispatched }
+
+// MeanWait returns the mean queueing delay of dispatched jobs in
+// seconds. It is a float64, not a sim.Time: an integer-nanosecond mean
+// would truncate whenever the accumulated wait does not divide evenly by
+// the dispatch count, and every aggregate statistic in this repo reports
+// seconds.
+func (s *Scheduler) MeanWait() float64 {
 	if s.dispatched == 0 {
 		return 0
 	}
-	return s.totalWait / sim.Time(s.dispatched)
+	return s.totalWait.Seconds() / float64(s.dispatched)
 }
 
 // Dispatch assigns queued jobs to accepting machines, FIFO over the queue
 // and least-loaded-first over the machines (fewest resident BE instances,
 // then most free cores), one job per machine per call — matching the
-// engine's one-launch-per-control-period admission. Machines must have at
-// least one free core and the job's memory footprint available.
+// engine's one-launch-per-control-period admission. A machine fits a job
+// only when it has the job's memory footprint and at least the job's
+// MinDispatchCores free: the starting slice is a single core, but a
+// machine that can never grow the job past an eighth of its solo
+// footprint would pin it at a sliver of its solo rate, so it stays
+// queued for a machine with real headroom.
+//
+// Ties between equally loaded machines break on caller position, never
+// on name, so a renamed fleet (the fleet layer names machines
+// "<replica>/<pod>") dispatches identically as long as the machines are
+// reported in the same order.
 func (s *Scheduler) Dispatch(machines []MachineState, now sim.Time) []Assignment {
 	if len(s.queue) == 0 || len(machines) == 0 {
 		return nil
 	}
-	avail := make([]MachineState, 0, len(machines))
-	for _, m := range machines {
+	type candidate struct {
+		MachineState
+		pos int
+	}
+	avail := make([]candidate, 0, len(machines))
+	for i, m := range machines {
 		if m.Accepting && m.FreeCores >= 1 {
-			avail = append(avail, m)
+			avail = append(avail, candidate{MachineState: m, pos: i})
 		}
 	}
 	sort.Slice(avail, func(i, j int) bool {
@@ -131,7 +176,7 @@ func (s *Scheduler) Dispatch(machines []MachineState, now sim.Time) []Assignment
 		if avail[i].FreeCores != avail[j].FreeCores {
 			return avail[i].FreeCores > avail[j].FreeCores
 		}
-		return avail[i].Name < avail[j].Name
+		return avail[i].pos < avail[j].pos
 	})
 
 	var out []Assignment
@@ -143,7 +188,7 @@ func (s *Scheduler) Dispatch(machines []MachineState, now sim.Time) []Assignment
 		idx := -1
 		for qi, j := range s.queue {
 			spec := bejobs.MustLookup(j.Type)
-			if m.FreeMemoryGB >= spec.MemoryGB {
+			if m.FreeCores >= spec.MinDispatchCores() && m.FreeMemoryGB >= spec.MemoryGB {
 				idx = qi
 				break
 			}

@@ -1,6 +1,7 @@
 package scheduler
 
 import (
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -69,7 +70,7 @@ func TestLeastLoadedFirst(t *testing.T) {
 
 func TestMemoryFootprintSkip(t *testing.T) {
 	s := New(10)
-	// LSTM needs 3 GB; CPU-stress 0.5 GB.
+	// LSTM needs 3 GB; CPU-stress 0.5 GB. Both need 5 cores to dispatch.
 	if _, err := s.Submit(bejobs.LSTM, 0); err != nil {
 		t.Fatal(err)
 	}
@@ -77,13 +78,57 @@ func TestMemoryFootprintSkip(t *testing.T) {
 		t.Fatal(err)
 	}
 	as := s.Dispatch([]MachineState{
-		{Name: "tight", Accepting: true, FreeCores: 4, FreeMemoryGB: 1},
+		{Name: "tight", Accepting: true, FreeCores: 8, FreeMemoryGB: 1},
 	}, 0)
 	if len(as) != 1 || as[0].Job.Type != bejobs.CPUStress {
 		t.Fatalf("should skip the over-sized job: %v", as)
 	}
 	if s.Pending() != 1 {
 		t.Fatal("LSTM should remain queued")
+	}
+}
+
+// TestMinCoresFit is the regression table for the core-demand check: a
+// machine must have at least MinDispatchCores (an eighth of the job's
+// solo footprint) free, or the job skips it — a 38-solo-core CPU-stress
+// Spec must not land on a 1-free-core machine.
+func TestMinCoresFit(t *testing.T) {
+	cases := []struct {
+		name      string
+		ty        bejobs.Type
+		freeCores int
+		want      bool
+	}{
+		{"cpu-stress starved", bejobs.CPUStress, 1, false}, // solo 38 -> min 5
+		{"cpu-stress at threshold", bejobs.CPUStress, 5, true},
+		{"cpu-stress below threshold", bejobs.CPUStress, 4, false},
+		{"lstm below threshold", bejobs.LSTM, 4, false}, // solo 36 -> min 5
+		{"lstm at threshold", bejobs.LSTM, 5, true},
+		{"wordcount at threshold", bejobs.Wordcount, 4, true}, // solo 32 -> min 4
+		{"wordcount below threshold", bejobs.Wordcount, 3, false},
+		{"iperf on one core", bejobs.Iperf, 1, true},          // solo 2 -> min 1
+		{"stream-llc on one core", bejobs.StreamLLC, 1, true}, // solo 8 -> min 1
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if min := bejobs.MustLookup(tc.ty).MinDispatchCores(); min < 1 {
+				t.Fatalf("MinDispatchCores = %d, want >= 1", min)
+			}
+			s := New(10)
+			if _, err := s.Submit(tc.ty, 0); err != nil {
+				t.Fatal(err)
+			}
+			as := s.Dispatch([]MachineState{
+				{Name: "m0", Accepting: true, FreeCores: tc.freeCores, FreeMemoryGB: 100},
+			}, 0)
+			if got := len(as) == 1; got != tc.want {
+				t.Fatalf("%s on %d free cores: dispatched=%v, want %v",
+					tc.ty, tc.freeCores, got, tc.want)
+			}
+			if !tc.want && s.Pending() != 1 {
+				t.Fatal("undispatched job should stay queued")
+			}
+		})
 	}
 }
 
@@ -115,33 +160,210 @@ func TestRequeueGoesToHead(t *testing.T) {
 		t.Fatal(err)
 	}
 	killed := Job{ID: "be-old", Type: bejobs.LSTM, SubmittedAt: 0}
-	s.Requeue(killed)
+	if !s.Requeue(killed) {
+		t.Fatal("requeue into a non-full queue should succeed")
+	}
 	as := s.Dispatch([]MachineState{
-		{Name: "m0", Accepting: true, FreeCores: 4, FreeMemoryGB: 100},
+		{Name: "m0", Accepting: true, FreeCores: 8, FreeMemoryGB: 100},
 	}, 0)
 	if len(as) != 1 || as[0].Job.ID != "be-old" {
 		t.Fatalf("requeued job should dispatch first: %v", as)
+	}
+	if s.Requeued() != 1 {
+		t.Fatalf("requeued = %d, want 1", s.Requeued())
+	}
+}
+
+// TestRequeueFullQueueReportsLoss is the regression for the silent
+// requeue drop: a killed job bouncing off a full queue must report
+// false and count under RequeueDropped, not vanish into the Dropped
+// counter shared with rejected fresh submissions.
+func TestRequeueFullQueueReportsLoss(t *testing.T) {
+	s := New(1)
+	if _, err := s.Submit(bejobs.Wordcount, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Requeue(Job{ID: "be-killed", Type: bejobs.LSTM, SubmittedAt: 0}) {
+		t.Fatal("requeue into a full queue should report the loss")
+	}
+	if s.RequeueDropped() != 1 {
+		t.Fatalf("requeueDropped = %d, want 1", s.RequeueDropped())
+	}
+	if s.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0: requeue losses must not pollute the submission counter", s.Dropped())
+	}
+	if s.Requeued() != 0 {
+		t.Fatalf("requeued = %d, want 0", s.Requeued())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want the original job only", s.Pending())
 	}
 }
 
 func TestMeanWaitAccounting(t *testing.T) {
 	s := New(10)
-	if _, err := s.Submit(bejobs.Wordcount, sim.FromSeconds(0)); err != nil {
+	// Sub-tick submit times make the truncation visible: waits of 3 ns
+	// and 2 ns mean 2.5 ns; the old integer-nanosecond division returned
+	// 2 ns flat.
+	if _, err := s.Submit(bejobs.Wordcount, sim.Time(0)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Submit(bejobs.Wordcount, sim.FromSeconds(2)); err != nil {
+	if _, err := s.Submit(bejobs.Wordcount, sim.Time(1)); err != nil {
 		t.Fatal(err)
 	}
 	s.Dispatch([]MachineState{
-		{Name: "a", Accepting: true, FreeCores: 2, FreeMemoryGB: 10},
-		{Name: "b", Accepting: true, FreeCores: 2, FreeMemoryGB: 10},
-	}, sim.FromSeconds(4))
-	// Waits: 4s and 2s -> mean 3s.
-	if got := s.MeanWait(); got != sim.FromSeconds(3) {
-		t.Fatalf("mean wait = %v, want 3s", got)
+		{Name: "a", Accepting: true, FreeCores: 8, FreeMemoryGB: 10},
+		{Name: "b", Accepting: true, FreeCores: 8, FreeMemoryGB: 10},
+	}, sim.Time(3))
+	if got, want := s.MeanWait(), 2.5e-9; got != want {
+		t.Fatalf("mean wait = %v s, want %v s", got, want)
+	}
+	if s.Dispatched() != 2 {
+		t.Fatalf("dispatched = %d, want 2", s.Dispatched())
 	}
 	if New(1).MeanWait() != 0 {
 		t.Fatal("empty scheduler mean wait should be 0")
+	}
+}
+
+// Property: Dispatch is exactly FIFO-with-skip against a straight-line
+// reference implementation of the documented algorithm — machines sorted
+// least-loaded-first (resident asc, free cores desc, position asc), each
+// taking the earliest queued job whose cores and memory fit.
+func TestDispatchFIFOWithSkipProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := sim.NewRNG(seed)
+		s := New(100)
+		types := bejobs.Types()
+		var queue []Job
+		for i := 0; i < 1+r.Intn(20); i++ {
+			j, err := s.Submit(types[r.Intn(len(types))], sim.Time(i))
+			if err != nil {
+				return false
+			}
+			queue = append(queue, j)
+		}
+		var machines []MachineState
+		for i := 0; i < 1+r.Intn(6); i++ {
+			machines = append(machines, MachineState{
+				Name:         string(rune('a' + i)),
+				Accepting:    r.Float64() < 0.7,
+				FreeCores:    r.Intn(12),
+				FreeMemoryGB: r.Float64() * 10,
+				Resident:     r.Intn(5),
+			})
+		}
+
+		// Reference: the documented algorithm, written out naively.
+		type cand struct {
+			MachineState
+			pos int
+		}
+		var avail []cand
+		for i, m := range machines {
+			if m.Accepting && m.FreeCores >= 1 {
+				avail = append(avail, cand{m, i})
+			}
+		}
+		sort.Slice(avail, func(i, j int) bool {
+			if avail[i].Resident != avail[j].Resident {
+				return avail[i].Resident < avail[j].Resident
+			}
+			if avail[i].FreeCores != avail[j].FreeCores {
+				return avail[i].FreeCores > avail[j].FreeCores
+			}
+			return avail[i].pos < avail[j].pos
+		})
+		var want []Assignment
+		for _, m := range avail {
+			for qi, j := range queue {
+				spec := bejobs.MustLookup(j.Type)
+				if m.FreeCores >= spec.MinDispatchCores() && m.FreeMemoryGB >= spec.MemoryGB {
+					want = append(want, Assignment{Job: j, Machine: m.Name})
+					queue = append(queue[:qi], queue[qi+1:]...)
+					break
+				}
+			}
+		}
+
+		got := s.Dispatch(machines, sim.FromSeconds(100))
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].Job.ID != want[i].Job.ID || got[i].Machine != want[i].Machine {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: least-loaded tie-breaks are stable under machine renaming —
+// two fleets identical except for machine names (reported in the same
+// order) dispatch the same jobs to the same positions. This is what lets
+// the fleet layer name machines "<replica>/<pod>" without renames ever
+// reshuffling placements.
+func TestTieBreakStableUnderRenaming(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := sim.NewRNG(seed)
+		build := func() (*Scheduler, []MachineState) {
+			s := New(100)
+			types := bejobs.Types()
+			for i := 0; i < 1+r.Intn(15); i++ {
+				if _, err := s.Submit(types[r.Intn(len(types))], sim.Time(i)); err != nil {
+					return nil, nil
+				}
+			}
+			var ms []MachineState
+			for i := 0; i < 1+r.Intn(6); i++ {
+				ms = append(ms, MachineState{
+					Accepting:    r.Float64() < 0.8,
+					FreeCores:    4 + r.Intn(3), // narrow range: ties are common
+					FreeMemoryGB: 8,
+					Resident:     r.Intn(2),
+				})
+			}
+			return s, ms
+		}
+		// Two identical schedulers; the RNG is re-seeded so both see the
+		// same jobs and machines, differing only in names.
+		s1, ms1 := build()
+		r = sim.NewRNG(seed)
+		s2, ms2 := build()
+		if s1 == nil || s2 == nil {
+			return true
+		}
+		for i := range ms1 {
+			ms1[i].Name = string(rune('a' + i))
+			ms2[i].Name = string(rune('z' - i)) // reverse alphabetical order
+		}
+		as1 := s1.Dispatch(ms1, sim.FromSeconds(50))
+		as2 := s2.Dispatch(ms2, sim.FromSeconds(50))
+		if len(as1) != len(as2) {
+			return false
+		}
+		pos1 := map[string]int{}
+		pos2 := map[string]int{}
+		for i := range ms1 {
+			pos1[ms1[i].Name] = i
+			pos2[ms2[i].Name] = i
+		}
+		for i := range as1 {
+			if as1[i].Job.ID != as2[i].Job.ID {
+				return false
+			}
+			if pos1[as1[i].Machine] != pos2[as2[i].Machine] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
 	}
 }
 

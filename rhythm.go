@@ -39,6 +39,7 @@ import (
 	"rhythm/internal/engine"
 	"rhythm/internal/experiments"
 	"rhythm/internal/faults"
+	"rhythm/internal/fleet"
 	"rhythm/internal/loadgen"
 	"rhythm/internal/obs"
 	"rhythm/internal/profiler"
@@ -122,6 +123,25 @@ type (
 	// ReplayTrace is a recorded-traffic trace (CSV/JSONL) usable as a
 	// load pattern via its Pattern method.
 	ReplayTrace = replay.Trace
+	// Fleet is a datacenter-scale run: N machines of service replicas
+	// coordinated through one shared BE queue (ROADMAP item 1).
+	Fleet = fleet.Fleet
+	// FleetConfig configures a fleet run (composition, load, arrival
+	// rate, epoch, seed).
+	FleetConfig = fleet.Config
+	// FleetEntry is one service class in a fleet: a service, its replica
+	// count, and the policy/SLA controlling each replica.
+	FleetEntry = fleet.Entry
+	// FleetResult is the fleet-wide scorecard (per-class p99, utilization
+	// histograms, BE goodput, queue waits).
+	FleetResult = fleet.Result
+	// FleetClassStats is one service class's scorecard row.
+	FleetClassStats = fleet.ClassStats
+	// FleetQueueStats is the shared BE queue's scorecard.
+	FleetQueueStats = fleet.QueueStats
+	// FleetProfile is a named fleet composition preset (fleet4, fleet100,
+	// fleet1000).
+	FleetProfile = fleet.Profile
 )
 
 // The seven BE job types of Table 1.
@@ -258,3 +278,15 @@ func ScenarioExperiments() []string { return experiments.ScenarioIDs() }
 func NewExperiments(opts ExperimentOptions) *ExperimentContext {
 	return experiments.NewContext(opts)
 }
+
+// NewFleet builds a fleet from its configuration; Run executes it and
+// returns the aggregated scorecard. Output is byte-identical for any
+// Config.Jobs value.
+func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
+
+// FleetPresets lists the fleet-size preset names (fleet4, fleet100,
+// fleet1000) accepted by FleetPresetProfile and the CLI's -fleet flag.
+func FleetPresets() []string { return fleet.Presets() }
+
+// FleetPresetProfile returns the named preset's composition.
+func FleetPresetProfile(name string) (FleetProfile, error) { return fleet.PresetProfile(name) }
