@@ -14,7 +14,7 @@ GO ?= go
 # CI always has network and runs it for real.
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: check fmt vet build test exact race staticcheck bench bench-tables bench-compare golden golden-update scenario-lint
+.PHONY: check fmt vet build test exact race staticcheck bench bench-tables bench-compare golden golden-update scenario-lint calibrate-smoke
 
 check: fmt vet build exact race staticcheck
 
@@ -85,6 +85,14 @@ golden:
 # invalidity, fails here in under a second.
 scenario-lint:
 	$(GO) run ./cmd/rhythm scenario -validate examples/scenarios/*.json examples/scenarios/*.yaml
+
+# calibrate-smoke is the self-calibration fixed point (DESIGN.md §13):
+# export the golden subset's metrics, feed them back through `rhythm
+# calibrate` at a different worker count, and demand zero breaches.
+calibrate-smoke:
+	$(GO) run ./cmd/rhythm -quick -seed 2020 -metrics-out calibrate-smoke.prom run fig2 fig7 > /dev/null
+	$(GO) run ./cmd/rhythm -quick -seed 2020 -jobs 4 calibrate -observed calibrate-smoke.prom
+	rm -f calibrate-smoke.prom
 
 # golden-update re-pins GOLDEN.sha256 after an INTENTIONAL output change
 # (new experiment content, a deliberate model change). Never run it to

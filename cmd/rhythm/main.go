@@ -11,6 +11,9 @@
 //	rhythm catalog                  # Table 1 workloads and BE jobs
 //	rhythm scenario <spec-file>     # run a workload-spec scenario (SCENARIOS.md)
 //	rhythm scenario -validate <spec-file>...  # check spec files end to end
+//	rhythm calibrate -observed F    # validate a fresh run against an exported
+//	                                # metrics snapshot or trace (-fit tunes
+//	                                # workload corrections; DESIGN.md §13)
 //
 // Flags:
 //
@@ -157,6 +160,42 @@ func realMain(argv []string, stdout, rawStderr io.Writer) int {
 		return 2
 	}
 
+	// The calibrate subcommand closes the observability loop: it reads an
+	// exported artifact back and validates a fresh run against it
+	// (cmd/rhythm/calibrate.go). It installs its own private bus for the
+	// re-run, so combining it with the global trace/metrics flags is a
+	// usage error rather than a silently shared bus.
+	var calFlags cliflags.Calibrate
+	if args[0] == "calibrate" {
+		sub := flag.NewFlagSet("rhythm calibrate", flag.ContinueOnError)
+		sub.SetOutput(stderr)
+		calFlags.Register(sub)
+		sub.Usage = func() {
+			fmt.Fprintln(stderr, "usage: rhythm [flags] calibrate -observed <metrics.prom|trace.jsonl> [-fit] [-report out.json]")
+			sub.PrintDefaults()
+		}
+		if err := sub.Parse(args[1:]); err != nil {
+			return 2
+		}
+		rest := sub.Args()
+		switch {
+		case len(rest) == 1 && calFlags.Observed == "":
+			calFlags.Observed = rest[0] // positional artifact shorthand
+		case len(rest) == 0:
+		default:
+			fmt.Fprintln(stderr, "rhythm: calibrate takes one observed artifact (positional or -observed)")
+			return 2
+		}
+		if err := calFlags.Validate(); err != nil {
+			fmt.Fprintf(stderr, "rhythm: %v\n", err)
+			return 2
+		}
+		if traceFlags.Out != "" || traceFlags.MetricsOut != "" {
+			fmt.Fprintln(stderr, "rhythm: calibrate re-runs experiments on a private bus; it cannot be combined with -trace-out or -metrics-out")
+			return 2
+		}
+	}
+
 	// The trace subcommand is `run` for a single experiment with the bus
 	// forced on: default the trace file from the experiment id when the
 	// flag was not given.
@@ -211,6 +250,8 @@ func realMain(argv []string, stdout, rawStderr io.Writer) int {
 		}
 	case "profile":
 		err = profile(ctx, args[1:], stdout)
+	case "calibrate":
+		return runCalibrate(ctx, calFlags, spec != nil, stdout, stderr)
 	case "catalog":
 		err = catalog(stdout)
 	default:
@@ -329,6 +370,7 @@ usage:
   rhythm [flags] catalog
   rhythm [flags] scenario <spec-file>
   rhythm [flags] scenario -validate <spec-file>...
+  rhythm [flags] calibrate -observed <metrics.prom|trace.jsonl> [-fit] [-report out.json]
 
 flags:
 `)

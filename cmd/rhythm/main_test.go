@@ -36,6 +36,15 @@ func TestArgValidation(t *testing.T) {
 		{"trace two ids", []string{"trace", "fig2", "fig3"}, 2,
 			"trace needs exactly one experiment id"},
 		{"trace unknown id", []string{"trace", "fig999"}, 2, "fig999"},
+		{"calibrate without artifact", []string{"calibrate"}, 2,
+			"calibrate needs -observed"},
+		{"calibrate two artifacts", []string{"calibrate", "a.prom", "b.prom"}, 2,
+			"one observed artifact"},
+		{"calibrate with metrics-out", []string{"-metrics-out", "m.prom", "calibrate", "a.prom"}, 2,
+			"cannot be combined"},
+		{"calibrate with trace-out", []string{"-trace-out", "t.jsonl", "calibrate", "a.prom"}, 2,
+			"cannot be combined"},
+		{"calibrate missing file", []string{"calibrate", "no-such-artifact.prom"}, 1, ""},
 		{"list ok", []string{"list"}, 0, ""},
 		{"catalog ok", []string{"catalog"}, 0, ""},
 		{"profile missing arg", []string{"profile"}, 1, "profile needs exactly one service name"},
@@ -153,5 +162,86 @@ func TestListIncludesScenarioExperiment(t *testing.T) {
 	}
 	if !strings.Contains(stdout.String(), "scenario") {
 		t.Fatalf("list does not mention the scenario experiment:\n%s", stdout.String())
+	}
+}
+
+// TestCalibrateSelfFixedPoint is the CLI-level fixed-point contract: a
+// run's exported metrics snapshot, fed back through `rhythm calibrate`,
+// must validate with zero breaches. fig2 is analytic, so the whole loop
+// is cheap enough for the unit suite; CI repeats it as a smoke job.
+func TestCalibrateSelfFixedPoint(t *testing.T) {
+	dir := t.TempDir()
+	mpath := filepath.Join(dir, "m.prom")
+
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{"-quick", "-seed", "2020", "-metrics-out", mpath, "run", "fig2"},
+		&stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("export run failed (%d): %s", code, stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	code = realMain([]string{"-quick", "-seed", "2020", "calibrate", "-observed", mpath},
+		&stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("self-calibration exit %d\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "calibration: PASS") {
+		t.Fatalf("missing PASS verdict:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "re-ran fig2") {
+		t.Fatalf("summary line missing:\n%s", stderr.String())
+	}
+
+	// A -report sidecar must be valid JSON with the same verdict, and the
+	// -fit pass must converge at the fixed point (identity transform).
+	rpath := filepath.Join(dir, "report.json")
+	stdout.Reset()
+	stderr.Reset()
+	code = realMain([]string{"-quick", "-seed", "2020", "calibrate", "-fit", "-report", rpath, mpath},
+		&stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("calibrate -fit exit %d: %s", code, stderr.String())
+	}
+	body, err := os.ReadFile(rpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `"pass": true`) {
+		t.Fatalf("report sidecar lacks pass verdict:\n%s", body)
+	}
+}
+
+// TestCalibrateRejectsForeignArtifacts: artifacts that carry no
+// rhythm experiment ids, or ids this binary cannot re-run, exit 1 with a
+// pointed diagnostic rather than silently passing an empty comparison.
+func TestCalibrateRejectsForeignArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.prom")
+	if err := os.WriteFile(empty, []byte("# TYPE foreign_total counter\nforeign_total 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	unknown := filepath.Join(dir, "unknown.prom")
+	if err := os.WriteFile(unknown,
+		[]byte("# TYPE rhythm_experiments_total counter\nrhythm_experiments_total{id=\"fig999\"} 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	if code := realMain([]string{"calibrate", empty}, &stdout, &stderr); code != 1 {
+		t.Fatalf("empty artifact exit %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "no rhythm_experiments_total series") {
+		t.Fatalf("missing re-export hint:\n%s", stderr.String())
+	}
+
+	stderr.Reset()
+	if code := realMain([]string{"calibrate", unknown}, &stdout, &stderr); code != 1 {
+		t.Fatalf("unknown id exit %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "fig999") {
+		t.Fatalf("diagnostic does not name the unknown id:\n%s", stderr.String())
 	}
 }

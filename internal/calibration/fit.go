@@ -1,0 +1,191 @@
+package calibration
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bisect solves f(x) = target for x on [lo, hi] by bisection, assuming f
+// is monotone on the interval. It returns the midpoint once the interval
+// narrows below tol or maxIter halvings elapse, and NaN when the target
+// is not bracketed (f(lo) and f(hi) on the same side).
+func Bisect(f func(float64) float64, target, lo, hi, tol float64, maxIter int) float64 {
+	flo, fhi := f(lo)-target, f(hi)-target
+	if flo == 0 {
+		return lo
+	}
+	if fhi == 0 {
+		return hi
+	}
+	if math.IsNaN(flo) || math.IsNaN(fhi) || (flo > 0) == (fhi > 0) {
+		return math.NaN()
+	}
+	for i := 0; i < maxIter && hi-lo > tol; i++ {
+		mid := lo + (hi-lo)/2
+		fm := f(mid) - target
+		if fm == 0 {
+			return mid
+		}
+		if (fm > 0) == (fhi > 0) {
+			hi, fhi = mid, fm
+		} else {
+			lo, flo = mid, fm
+		}
+	}
+	return lo + (hi-lo)/2
+}
+
+// FitResult carries the workload-distribution corrections an auto-fit
+// pass recovered: the sojourn distribution is treated as lognormal, and
+// the fit finds the log-domain shift and spread scale that map the
+// predicted quantiles onto the observed ones, plus an arrival-rate scale
+// from offered load. A deployment whose observed tail disagrees with the
+// prediction applies these to the workload spec (service-time mu' =
+// mu + MuShift, sigma' = sigma * SigmaScale, rate' = rate * RateScale)
+// and re-runs.
+type FitResult struct {
+	MuShift    jsonFloat `json:"mu_shift"`
+	SigmaScale jsonFloat `json:"sigma_scale"`
+	RateScale  jsonFloat `json:"rate_scale"`
+
+	PredictedP50 jsonFloat `json:"predicted_p50_seconds"`
+	PredictedP99 jsonFloat `json:"predicted_p99_seconds"`
+	ObservedP50  jsonFloat `json:"observed_p50_seconds"`
+	ObservedP99  jsonFloat `json:"observed_p99_seconds"`
+	FittedP99    jsonFloat `json:"fitted_p99_seconds"`
+
+	Converged bool   `json:"converged"`
+	Note      string `json:"note,omitempty"`
+}
+
+// Summary renders the fitted parameters as a short human block.
+func (f *FitResult) Summary() string {
+	var b strings.Builder
+	status := "converged"
+	if !f.Converged {
+		status = "did not converge"
+	}
+	fmt.Fprintf(&b, "auto-fit (%s):\n", status)
+	if f.Note != "" {
+		fmt.Fprintf(&b, "  note: %s\n", f.Note)
+	}
+	fmt.Fprintf(&b, "  service-time mu shift:    %+s (log seconds)\n", fmtCell(float64(f.MuShift)))
+	fmt.Fprintf(&b, "  service-time sigma scale: x%s\n", fmtCell(float64(f.SigmaScale)))
+	fmt.Fprintf(&b, "  arrival-rate scale:       x%s\n", fmtCell(float64(f.RateScale)))
+	fmt.Fprintf(&b, "  window p99: predicted %ss, observed %ss, fitted %ss\n",
+		fmtCell(float64(f.PredictedP99)), fmtCell(float64(f.ObservedP99)),
+		fmtCell(float64(f.FittedP99)))
+	return b.String()
+}
+
+// fitTolerance is the interval width at which the quantile bisections
+// stop; 60 halvings of the widest bracket land well below it.
+const (
+	fitTolerance = 1e-12
+	fitMaxIter   = 60
+)
+
+// FitQuantiles recovers the lognormal corrections mapping predicted
+// (p50, p99) sojourn quantiles onto observed ones:
+//
+//	sigmaScale solves sigmaScale*(ln p99p - ln p50p) = ln p99o - ln p50o
+//	muShift    solves (ln p50p + muShift)            = ln p50o
+//
+// Both equations are monotone, so each parameter falls out of one Bisect
+// over a generous bracket (sigmaScale in [0.05, 20], muShift in
+// [-10, 10] log-seconds). Quantiles must be positive and finite.
+func FitQuantiles(predP50, predP99, obsP50, obsP99 float64) (muShift, sigmaScale float64, err error) {
+	for _, q := range []struct {
+		name string
+		v    float64
+	}{
+		{"predicted p50", predP50}, {"predicted p99", predP99},
+		{"observed p50", obsP50}, {"observed p99", obsP99},
+	} {
+		if !(q.v > 0) || math.IsInf(q.v, 0) {
+			return 0, 0, fmt.Errorf("calibration: fit: %s quantile %v is not positive finite", q.name, q.v)
+		}
+	}
+	predSpread := math.Log(predP99) - math.Log(predP50)
+	obsSpread := math.Log(obsP99) - math.Log(obsP50)
+	if predSpread <= 0 {
+		return 0, 0, fmt.Errorf("calibration: fit: predicted quantiles are not spread (p50 %v >= p99 %v)", predP50, predP99)
+	}
+	if obsSpread < 0 {
+		return 0, 0, fmt.Errorf("calibration: fit: observed quantiles are inverted (p50 %v > p99 %v)", obsP50, obsP99)
+	}
+	sigmaScale = Bisect(func(s float64) float64 { return s * predSpread },
+		obsSpread, 0.05, 20, fitTolerance, fitMaxIter)
+	muShift = Bisect(func(m float64) float64 { return math.Log(predP50) + m },
+		math.Log(obsP50), -10, 10, fitTolerance, fitMaxIter)
+	if math.IsNaN(sigmaScale) || math.IsNaN(muShift) {
+		return 0, 0, fmt.Errorf("calibration: fit: correction outside bracket (sigma scale in [0.05,20], mu shift in [-10,10])")
+	}
+	return muShift, sigmaScale, nil
+}
+
+// p99Family is the histogram family the fit reads tail quantiles from.
+const p99Family = "rhythm_window_p99_seconds"
+
+// loadFamily is the histogram family the arrival-rate scale reads.
+const loadFamily = "rhythm_offered_load"
+
+// FitReport runs the auto-fit pass over two metric sets: it reconstructs
+// the window-p99 histograms from each side, extracts (p50, p99) of the
+// per-tick tail distribution, bisection-fits the lognormal corrections,
+// and scales the arrival rate by the ratio of mean offered load. The
+// returned FitResult is attached to a Report by the caller. A nil error
+// with Converged=false means the artifacts lacked the series the fit
+// needs (e.g. a run too short to populate the histograms); that is
+// reported, not failed.
+func FitReport(predicted, observed *MetricSet) (*FitResult, error) {
+	res := &FitResult{
+		MuShift: jsonFloat(math.NaN()), SigmaScale: jsonFloat(math.NaN()),
+		RateScale: jsonFloat(math.NaN()), PredictedP50: jsonFloat(math.NaN()),
+		PredictedP99: jsonFloat(math.NaN()), ObservedP50: jsonFloat(math.NaN()),
+		ObservedP99: jsonFloat(math.NaN()), FittedP99: jsonFloat(math.NaN()),
+	}
+	ph, perr := predicted.Histogram(p99Family)
+	oh, oerr := observed.Histogram(p99Family)
+	if perr != nil || oerr != nil {
+		res.Note = fmt.Sprintf("fit needs %s on both sides (predicted: %v, observed: %v)",
+			p99Family, errString(perr), errString(oerr))
+		return res, nil
+	}
+	predP50, predP99 := ph.Quantile(0.50), ph.Quantile(0.99)
+	obsP50, obsP99 := oh.Quantile(0.50), oh.Quantile(0.99)
+	res.PredictedP50, res.PredictedP99 = jsonFloat(predP50), jsonFloat(predP99)
+	res.ObservedP50, res.ObservedP99 = jsonFloat(obsP50), jsonFloat(obsP99)
+	muShift, sigmaScale, err := FitQuantiles(predP50, predP99, obsP50, obsP99)
+	if err != nil {
+		return res, err
+	}
+	res.MuShift, res.SigmaScale = jsonFloat(muShift), jsonFloat(sigmaScale)
+	// Check the corrections actually land the predicted tail on the
+	// observed one: map ln p99 through the fitted transform.
+	fitted := math.Exp(math.Log(predP50) + muShift +
+		sigmaScale*(math.Log(predP99)-math.Log(predP50)))
+	res.FittedP99 = jsonFloat(fitted)
+	res.Converged = math.Abs(fitted-obsP99) <= 1e-9+1e-9*math.Abs(obsP99)
+
+	res.RateScale = jsonFloat(1)
+	pl, plErr := predicted.Histogram(loadFamily)
+	ol, olErr := observed.Histogram(loadFamily)
+	if plErr == nil && olErr == nil && pl.Count > 0 && ol.Count > 0 && pl.Mean() > 0 {
+		scale := Bisect(func(r float64) float64 { return r * pl.Mean() },
+			ol.Mean(), 0.01, 100, fitTolerance, fitMaxIter)
+		if !math.IsNaN(scale) {
+			res.RateScale = jsonFloat(scale)
+		}
+	}
+	return res, nil
+}
+
+// errString renders an error for a note ("ok" when nil).
+func errString(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	return err.Error()
+}

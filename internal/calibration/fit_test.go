@@ -1,0 +1,154 @@
+package calibration
+
+import (
+	"math"
+	"testing"
+
+	"rhythm/internal/obs"
+	"rhythm/internal/sim"
+)
+
+func TestBisect(t *testing.T) {
+	// Monotone increasing: sqrt(2) from x^2 = 2.
+	root := Bisect(func(x float64) float64 { return x * x }, 2, 0, 2, 1e-12, 80)
+	if math.Abs(root-math.Sqrt2) > 1e-9 {
+		t.Fatalf("sqrt2 = %v", root)
+	}
+	// Monotone decreasing brackets work too.
+	root = Bisect(func(x float64) float64 { return -x }, -3, 0, 10, 1e-12, 80)
+	if math.Abs(root-3) > 1e-9 {
+		t.Fatalf("decreasing root = %v", root)
+	}
+	// Exact endpoints short-circuit.
+	if got := Bisect(func(x float64) float64 { return x }, 0, 0, 1, 1e-12, 80); got != 0 {
+		t.Fatalf("endpoint = %v", got)
+	}
+	// Unbracketed target reports NaN rather than a bogus root.
+	if got := Bisect(func(x float64) float64 { return x }, 5, 0, 1, 1e-12, 80); !math.IsNaN(got) {
+		t.Fatalf("unbracketed = %v, want NaN", got)
+	}
+}
+
+func TestFitQuantilesRecoversInjectedDrift(t *testing.T) {
+	// Ground truth: lognormal(mu, sigma); observed: mu+shift, sigma*scale.
+	const mu, sigma = -3.2, 0.45
+	const shift, scale = 0.25, 1.3
+	z50, z99 := 0.0, sim.NormQuantile(0.99)
+	predP50 := math.Exp(mu + sigma*z50)
+	predP99 := math.Exp(mu + sigma*z99)
+	obsP50 := math.Exp(mu + shift + scale*sigma*z50)
+	obsP99 := math.Exp(mu + shift + scale*sigma*z99)
+
+	gotShift, gotScale, err := FitQuantiles(predP50, predP99, obsP50, obsP99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gotShift-shift) > 1e-6 {
+		t.Errorf("mu shift = %v, want %v", gotShift, shift)
+	}
+	if math.Abs(gotScale-scale) > 1e-6 {
+		t.Errorf("sigma scale = %v, want %v", gotScale, scale)
+	}
+}
+
+func TestFitQuantilesRejectsDegenerateInputs(t *testing.T) {
+	if _, _, err := FitQuantiles(0, 1, 1, 2); err == nil {
+		t.Error("zero quantile must error")
+	}
+	if _, _, err := FitQuantiles(2, 1, 1, 2); err == nil {
+		t.Error("inverted predicted spread must error")
+	}
+	if _, _, err := FitQuantiles(1, 2, 3, 2); err == nil {
+		t.Error("inverted observed spread must error")
+	}
+}
+
+// TestFitReportEndToEnd drives the fit through bucketed histograms the
+// way `rhythm calibrate -fit` does: the fitted transform must land the
+// predicted p99 exactly on the observed p99 (the convergence contract),
+// and the recovered corrections must carry the right sign and rough
+// magnitude despite bucket quantization.
+func TestFitReportEndToEnd(t *testing.T) {
+	const mu, sigma = -2.5, 0.5
+	const shift, scale = 0.2231435513, 1.2 // ln 1.25
+	bounds := geomBoundsForTest(0.001, 3, 64)
+
+	pred := obs.NewBus()
+	drift := obs.NewBus()
+	ph := pred.Histogram("rhythm_window_p99_seconds", bounds)
+	oh := drift.Histogram("rhythm_window_p99_seconds", bounds)
+	for i := 1; i <= 99; i++ {
+		z := sim.NormQuantile(float64(i) / 100)
+		ph.Observe(math.Exp(mu + sigma*z))
+		oh.Observe(math.Exp(mu + shift + scale*sigma*z))
+	}
+	res, err := FitReport(Snapshot(pred), Snapshot(drift))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("fit did not converge: %+v", res)
+	}
+	if math.Abs(float64(res.FittedP99)-float64(res.ObservedP99)) > 1e-9 {
+		t.Fatalf("fitted p99 %v != observed %v", res.FittedP99, res.ObservedP99)
+	}
+	if float64(res.MuShift) < 0.05 || float64(res.MuShift) > 0.5 {
+		t.Errorf("mu shift %v outside plausible band around %v", res.MuShift, shift)
+	}
+	if float64(res.SigmaScale) < 1.0 || float64(res.SigmaScale) > 1.5 {
+		t.Errorf("sigma scale %v outside plausible band around %v", res.SigmaScale, scale)
+	}
+}
+
+// TestFitReportMissingSeries pins the graceful path: artifacts without
+// the p99 family yield Converged=false and an explanatory note, not an
+// error.
+func TestFitReportMissingSeries(t *testing.T) {
+	res, err := FitReport(NewMetricSet(), NewMetricSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged || res.Note == "" {
+		t.Fatalf("res = %+v", res)
+	}
+	if s := res.Summary(); s == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestFitReportRateScale(t *testing.T) {
+	bounds := geomBoundsForTest(0.01, 2, 32)
+	pred := obs.NewBus()
+	scaled := obs.NewBus()
+	ph := pred.Histogram("rhythm_window_p99_seconds", bounds)
+	oh := scaled.Histogram("rhythm_window_p99_seconds", bounds)
+	pl := pred.Histogram("rhythm_offered_load", obs.DefBuckets)
+	ol := scaled.Histogram("rhythm_offered_load", obs.DefBuckets)
+	for i := 1; i <= 99; i++ {
+		z := sim.NormQuantile(float64(i) / 100)
+		ph.Observe(math.Exp(-2 + 0.4*z))
+		oh.Observe(math.Exp(-2 + 0.4*z))
+		pl.Observe(0.4)
+		ol.Observe(0.6) // the deployment ran 1.5x hotter than predicted
+	}
+	res, err := FitReport(Snapshot(pred), Snapshot(scaled))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(res.RateScale)-1.5) > 1e-6 {
+		t.Fatalf("rate scale = %v, want 1.5", res.RateScale)
+	}
+}
+
+// geomBoundsForTest mirrors the experiment's geometric grid without
+// importing the experiments package (cycle).
+func geomBoundsForTest(lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	ratio := math.Pow(hi/lo, 1/float64(n-1))
+	v := lo
+	for i := range out {
+		out[i] = v
+		v *= ratio
+	}
+	return out
+}

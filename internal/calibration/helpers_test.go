@@ -1,0 +1,14 @@
+package calibration
+
+import (
+	"os"
+	"testing"
+)
+
+// writeFile writes a test fixture, failing the test on error.
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

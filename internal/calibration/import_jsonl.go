@@ -1,0 +1,283 @@
+package calibration
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+
+	"rhythm/internal/obs"
+)
+
+// ImportJSONL parses an obs JSONL event trace (-trace-out) and aggregates
+// it into the same instrument families the engine registers on a live
+// bus, so a trace and a -metrics-out snapshot of the same run calibrate
+// against each other. The reconstruction mirrors the engine's emit points
+// one-to-one (DESIGN.md §13 documents the mapping):
+//
+//	tick events                      -> rhythm_engine_ticks_total
+//	run phase=start events           -> rhythm_engine_runs_total
+//	decision events                  -> rhythm_decisions_total{action=...}
+//	decision slack/p99, deduplicated -> rhythm_decision_slack,
+//	  per (scope, at) control tick      rhythm_window_p99_seconds,
+//	                                    rhythm_offered_load
+//	be events (engine lifecycle ops) -> rhythm_be_events_total{op=...}
+//	fault events (both edges)        -> rhythm_fault_events_total
+//	experiment phase=start events    -> rhythm_experiments_total{id=...}
+//
+// Fleet-level BE queue ops (dispatch/requeue/evict) and the epoch
+// brackets ride the same event kinds but are not engine instruments, so
+// they are deliberately not counted; cache and pool events have no
+// instrument family at all. Families that never pass through events
+// (per-pod sojourn histograms, scheduler health counters) cannot be
+// reconstructed from a trace and simply stay absent — Compare reports
+// them as informational one-sided series.
+//
+// Decoding is strict: unknown fields, missing required fields and
+// non-object lines each produce a FieldError naming the event and field
+// ("events[12].kind"); all defects are collected and joined.
+func ImportJSONL(r io.Reader) (*MetricSet, error) {
+	agg := newJSONLAggregator()
+	var defects []error
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	n := -1
+	for sc.Scan() {
+		n++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev jsonlEvent
+		dec := json.NewDecoder(strings.NewReader(line))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&ev); err != nil {
+			defects = append(defects, FieldError{fmt.Sprintf("events[%d]", n),
+				decodeReason(err)})
+			continue
+		}
+		if ev.Seq == nil {
+			defects = append(defects, FieldError{fmt.Sprintf("events[%d].seq", n),
+				"missing sequence number"})
+			continue
+		}
+		if ev.Kind == nil {
+			defects = append(defects, FieldError{fmt.Sprintf("events[%d].kind", n),
+				"missing event kind"})
+			continue
+		}
+		if !knownKinds[*ev.Kind] {
+			defects = append(defects, FieldError{fmt.Sprintf("events[%d].kind", n),
+				fmt.Sprintf("unknown event kind %q", *ev.Kind)})
+			continue
+		}
+		agg.observe(&ev)
+	}
+	if err := sc.Err(); err != nil {
+		defects = append(defects, fmt.Errorf("calibration: reading trace: %w", err))
+	}
+	if err := joinDefects(defects); err != nil {
+		return nil, err
+	}
+	return agg.finish(), nil
+}
+
+// jsonlEvent is the strict flat union over every field the JSONL sink
+// emits (one struct; DisallowUnknownFields catches drift between the sink
+// and this decoder). Pointer fields distinguish absent from zero and let
+// JSON null (the sink's NaN/Inf spelling) decode to nil.
+type jsonlEvent struct {
+	Seq       *uint64  `json:"seq"`
+	Kind      *string  `json:"kind"`
+	At        *float64 `json:"at"`
+	Scope     string   `json:"scope"`
+	Pod       string   `json:"pod"`
+	Action    string   `json:"action"`
+	Load      *float64 `json:"load"`
+	Slack     *float64 `json:"slack"`
+	P99       *float64 `json:"p99"`
+	Reason    string   `json:"reason"`
+	Dur       *float64 `json:"dur"`
+	QPS       *float64 `json:"qps"`
+	Samples   *int     `json:"samples"`
+	ID        string   `json:"id"`
+	Op        string   `json:"op"`
+	Cores     *int     `json:"cores"`
+	Ways      *int     `json:"ways"`
+	Cache     string   `json:"cache"`
+	Result    string   `json:"result"`
+	Key       string   `json:"key"`
+	Items     *int     `json:"items"`
+	Workers   *int     `json:"workers"`
+	Phase     string   `json:"phase"`
+	Config    string   `json:"config"`
+	Fault     string   `json:"fault"`
+	Magnitude *float64 `json:"magnitude"`
+	Detail    string   `json:"detail"`
+}
+
+var knownKinds = map[string]bool{
+	"run": true, "tick": true, "decision": true, "be": true,
+	"cache": true, "pool": true, "experiment": true, "fault": true,
+}
+
+// engineBEOps are the BE lifecycle transitions the engine both emits as
+// events and counts under rhythm_be_events_total (engine.beOps); the
+// fleet layer's queue-perspective ops (dispatch/requeue/evict) share the
+// event kind but have no instrument.
+var engineBEOps = map[string]bool{
+	"launch": true, "kill": true, "suspend": true, "resume": true,
+	"grow": true, "cut": true, "crash": true,
+}
+
+// decodeReason strips the encoding/json prefix noise down to the reason.
+func decodeReason(err error) string {
+	return strings.TrimPrefix(err.Error(), "json: ")
+}
+
+// histAccum accumulates observations into fixed bounds, mirroring
+// obs.Histogram, so the reconstructed series flattens identically.
+type histAccum struct {
+	bounds []float64
+	counts []uint64
+	sum    float64
+	count  uint64
+}
+
+func newHistAccum(bounds []float64) *histAccum {
+	return &histAccum{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+func (h *histAccum) observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.count++
+	h.sum += v
+}
+
+// jsonlAggregator folds events into instrument families.
+type jsonlAggregator struct {
+	counters map[string]uint64 // canonical key -> count
+	families map[string]string // family -> type
+	slack    *histAccum
+	p99      *histAccum
+	load     *histAccum
+	seenTick map[string]bool // scope\x00at dedupe for per-control-tick observations
+}
+
+func newJSONLAggregator() *jsonlAggregator {
+	return &jsonlAggregator{
+		counters: make(map[string]uint64),
+		families: make(map[string]string),
+		slack:    newHistAccum(obs.DefBuckets),
+		p99:      newHistAccum(obs.LatencyBuckets),
+		load:     newHistAccum(obs.DefBuckets),
+		seenTick: make(map[string]bool),
+	}
+}
+
+func (a *jsonlAggregator) inc(family string, labels ...string) {
+	a.families[family] = "counter"
+	a.counters[canonicalKey(family, labels)]++
+}
+
+func (a *jsonlAggregator) observe(ev *jsonlEvent) {
+	switch *ev.Kind {
+	case "tick":
+		a.inc("rhythm_engine_ticks_total")
+	case "run":
+		if ev.Phase == "start" {
+			a.inc("rhythm_engine_runs_total")
+		}
+	case "decision":
+		a.inc("rhythm_decisions_total", "action", ev.Action)
+		// The engine observes slack, window p99 and offered load once per
+		// control tick; decision events are per pod but share the tick's
+		// (scope, at) and values, so the first event of each tick
+		// reconstructs the observation exactly.
+		at := math.NaN()
+		if ev.At != nil {
+			at = *ev.At
+		}
+		tick := ev.Scope + "\x00" + obs.FormatMetricValue(at)
+		if a.seenTick[tick] {
+			return
+		}
+		a.seenTick[tick] = true
+		if ev.Slack != nil {
+			a.slack.observe(*ev.Slack)
+		}
+		if ev.P99 != nil {
+			a.p99.observe(*ev.P99)
+		}
+		if ev.Load != nil && !math.IsNaN(*ev.Load) {
+			a.load.observe(*ev.Load)
+		}
+	case "be":
+		if engineBEOps[ev.Op] {
+			a.inc("rhythm_be_events_total", "op", ev.Op)
+		}
+	case "fault":
+		a.inc("rhythm_fault_events_total")
+	case "experiment":
+		if ev.Phase == "start" {
+			a.inc("rhythm_experiments_total", "id", ev.ID)
+		}
+	}
+}
+
+// finish flattens the aggregation into a MetricSet.
+func (a *jsonlAggregator) finish() *MetricSet {
+	set := NewMetricSet()
+	for family, typ := range a.families {
+		set.setType(family, typ)
+	}
+	for key, n := range a.counters {
+		name, labels, _ := obs.ParseSeriesKey(key)
+		set.add(name, labels, float64(n))
+	}
+	for _, h := range []struct {
+		name string
+		acc  *histAccum
+	}{
+		{"rhythm_decision_slack", a.slack},
+		{"rhythm_window_p99_seconds", a.p99},
+		{"rhythm_offered_load", a.load},
+	} {
+		if h.acc.count == 0 {
+			continue
+		}
+		set.setType(h.name, "histogram")
+		cum := uint64(0)
+		for i, bound := range h.acc.bounds {
+			cum += h.acc.counts[i]
+			set.add(h.name+"_bucket", []string{"le", obs.FormatMetricValue(bound)}, float64(cum))
+		}
+		cum += h.acc.counts[len(h.acc.bounds)]
+		set.add(h.name+"_bucket", []string{"le", "+Inf"}, float64(cum))
+		set.add(h.name+"_sum", nil, h.acc.sum)
+		set.add(h.name+"_count", nil, float64(h.acc.count))
+	}
+	return set
+}
+
+// ImportFile reads an observed-metrics artifact, dispatching on the file
+// name: .jsonl/.ndjson parse as an obs event trace, anything else as a
+// Prometheus text snapshot.
+func ImportFile(path string) (*MetricSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".jsonl") || strings.HasSuffix(path, ".ndjson") {
+		return ImportJSONL(f)
+	}
+	return ImportPrometheus(f)
+}

@@ -1,0 +1,137 @@
+package calibration
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// jsonFloat is a float64 that marshals NaN and ±Inf as JSON null (matching
+// the JSONL sink's convention) instead of failing the whole report.
+type jsonFloat float64
+
+// MarshalJSON renders finite values with the shared 'g' format and
+// non-finite ones as null.
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return []byte(strconv.FormatFloat(v, 'g', -1, 64)), nil
+}
+
+// UnmarshalJSON accepts null back as NaN.
+func (f *jsonFloat) UnmarshalJSON(b []byte) error {
+	if string(b) == "null" {
+		*f = jsonFloat(math.NaN())
+		return nil
+	}
+	v, err := strconv.ParseFloat(string(b), 64)
+	if err != nil {
+		return err
+	}
+	*f = jsonFloat(v)
+	return nil
+}
+
+// WriteJSON emits the machine-readable scorecard, indented, with a
+// trailing newline.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText renders the human scorecard: verdict line, breaches worst
+// offender first with per-metric delta and tolerance headroom, the
+// tightest passing series (least headroom — the next metrics to drift),
+// and the one-sided series counts. Output is deterministic for fixed
+// input.
+func (r *Report) WriteText(w io.Writer) error {
+	verdict := "PASS"
+	if !r.Pass {
+		verdict = "FAIL"
+	}
+	if _, err := fmt.Fprintf(w, "calibration: %s  (%d/%d series within tolerance)\n",
+		verdict, r.Passed, r.Matched); err != nil {
+		return err
+	}
+	if len(r.Breaches) > 0 {
+		fmt.Fprintf(w, "\nworst offenders (%d breach(es)):\n", len(r.Breaches))
+		fmt.Fprintf(w, "  %-58s %14s %14s %12s %12s\n", "series", "predicted", "observed", "delta", "allowance")
+		for i, c := range r.Breaches {
+			if i == maxReportRows {
+				fmt.Fprintf(w, "  ... and %d more\n", len(r.Breaches)-maxReportRows)
+				break
+			}
+			fmt.Fprintf(w, "  %-58s %14s %14s %12s %12s\n", clip(c.Key, 58),
+				fmtCell(float64(c.Predicted)), fmtCell(float64(c.Observed)),
+				fmtCell(float64(c.Delta)), fmtCell(float64(c.Allowance)))
+		}
+	}
+	tight := tightestPasses(r.Checks, 3)
+	if len(tight) > 0 {
+		fmt.Fprintf(w, "\nleast headroom among passing series:\n")
+		for _, c := range tight {
+			fmt.Fprintf(w, "  %-58s headroom %s\n", clip(c.Key, 58), fmtCell(float64(c.Headroom)))
+		}
+	}
+	if len(r.PredictedOnly) > 0 || len(r.ObservedOnly) > 0 {
+		fmt.Fprintf(w, "\nunmatched series (informational): %d predicted-only, %d observed-only\n",
+			len(r.PredictedOnly), len(r.ObservedOnly))
+	}
+	if r.Fit != nil {
+		fmt.Fprintf(w, "\n%s", r.Fit.Summary())
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+const maxReportRows = 20
+
+// tightestPasses returns up to n passing checks with finite positive
+// allowance, ordered by ascending headroom (exact-match series with zero
+// allowance are trivially tight and uninformative, so they are skipped).
+func tightestPasses(checks []Check, n int) []Check {
+	var out []Check
+	for _, c := range checks {
+		if !c.Pass || float64(c.Allowance) <= 0 {
+			continue
+		}
+		out = append(out, c)
+	}
+	// Selection by repeated minimum keeps this allocation-light for the
+	// tiny n used here and is deterministic (ties broken by key order,
+	// which Checks already carries).
+	for i := 0; i < len(out) && i < n; i++ {
+		min := i
+		for j := i + 1; j < len(out); j++ {
+			if float64(out[j].Headroom) < float64(out[min].Headroom) {
+				min = j
+			}
+		}
+		out[i], out[min] = out[min], out[i]
+	}
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// fmtCell renders a numeric table cell compactly.
+func fmtCell(v float64) string {
+	if math.IsNaN(v) {
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// clip shortens long series keys for the fixed-width table.
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

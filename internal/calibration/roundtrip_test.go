@@ -1,0 +1,143 @@
+package calibration
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rhythm/internal/obs"
+)
+
+// TestRoundTripProperty is the sink/parser anti-drift pin: for randomly
+// generated instrument sets — label values that need escaping, histograms
+// with unusual bucket bounds, negative gauges, shared families — every
+// metric the Prometheus sink writes must parse back equal through the
+// importer, and the parsed set must equal the direct bus snapshot.
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20200427))
+	labelValues := []string{
+		"plain", "with space", `back\slash`, `qu"ote`, "new\nline",
+		`both\"and` + "\n", "", "unicode-μ",
+	}
+	for trial := 0; trial < 50; trial++ {
+		bus := obs.NewBus()
+		nCounter := 1 + rng.Intn(6)
+		for i := 0; i < nCounter; i++ {
+			labels := randomLabels(rng, labelValues)
+			c := bus.Counter(fmt.Sprintf("rt_counter_%d_total", rng.Intn(4)), labels...)
+			c.Add(uint64(rng.Intn(1000)))
+		}
+		nGauge := 1 + rng.Intn(4)
+		for i := 0; i < nGauge; i++ {
+			labels := randomLabels(rng, labelValues)
+			g := bus.Gauge(fmt.Sprintf("rt_gauge_%d", rng.Intn(3)), labels...)
+			g.Set((rng.Float64() - 0.5) * 1e6)
+		}
+		nHist := 1 + rng.Intn(3)
+		for i := 0; i < nHist; i++ {
+			bounds := randomBounds(rng)
+			labels := randomLabels(rng, labelValues)
+			h := bus.Histogram(fmt.Sprintf("rt_hist_%d", rng.Intn(3)), bounds, labels...)
+			for n := rng.Intn(40); n >= 0; n-- {
+				h.Observe((rng.Float64() - 0.3) * 10)
+			}
+		}
+
+		var buf bytes.Buffer
+		if err := bus.WriteMetrics(&buf); err != nil {
+			t.Fatalf("trial %d: WriteMetrics: %v", trial, err)
+		}
+		imported, err := ImportPrometheus(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: ImportPrometheus:\n%v\nexport:\n%s", trial, err, buf.String())
+		}
+		direct := Snapshot(bus)
+		if !metricSetsEqual(direct, imported) {
+			t.Fatalf("trial %d: snapshot != import round trip\nexport:\n%s\ndirect: %v\nimported: %v",
+				trial, buf.String(), direct.Keys(), imported.Keys())
+		}
+	}
+}
+
+// randomLabels draws 0-2 label pairs, value set including escapes.
+func randomLabels(rng *rand.Rand, values []string) []string {
+	n := rng.Intn(3)
+	out := make([]string, 0, n*2)
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprintf("l%d", i), values[rng.Intn(len(values))])
+	}
+	return out
+}
+
+// randomBounds draws a small ascending bound set, sometimes negative,
+// sometimes with many decimals (exercising the shared float rendering).
+func randomBounds(rng *rand.Rand) []float64 {
+	n := 1 + rng.Intn(6)
+	out := make([]float64, 0, n)
+	v := (rng.Float64() - 0.5) * 2
+	for i := 0; i < n; i++ {
+		v += rng.Float64() * 1.7
+		out = append(out, v)
+	}
+	return out
+}
+
+// metricSetsEqual compares values (bitwise, via Float64bits so NaN==NaN)
+// and family types.
+func metricSetsEqual(a, b *MetricSet) bool {
+	if !reflect.DeepEqual(a.Keys(), b.Keys()) {
+		return false
+	}
+	for _, k := range a.Keys() {
+		av, _ := a.Value(k)
+		bv, _ := b.Value(k)
+		if math.Float64bits(av) != math.Float64bits(bv) {
+			return false
+		}
+	}
+	return reflect.DeepEqual(a.types, b.types)
+}
+
+// TestSeriesKeyEscapingRoundTrip pins the escaping grammar directly:
+// parse(render(labels)) == labels for hostile label values.
+func TestSeriesKeyEscapingRoundTrip(t *testing.T) {
+	cases := [][]string{
+		{"a", `x\y`},
+		{"a", `x"y`},
+		{"a", "x\ny"},
+		{"a", `tricky\"combo` + "\n" + `\\`},
+		{"a", "", "b", "second"},
+	}
+	for _, labels := range cases {
+		key := obs.SeriesKey("fam", labels)
+		name, parsed, err := obs.ParseSeriesKey(key)
+		if err != nil {
+			t.Fatalf("ParseSeriesKey(%q): %v", key, err)
+		}
+		if name != "fam" || !reflect.DeepEqual(parsed, labels) {
+			t.Fatalf("round trip %v -> %q -> %v", labels, key, parsed)
+		}
+	}
+}
+
+// TestSnapshotMatchesWriteOrder pins that Snapshot ordering (family, then
+// series key) matches the text export's line order for data lines.
+func TestSnapshotMatchesWriteOrder(t *testing.T) {
+	bus := obs.NewBus()
+	bus.Counter("z_total", "k", "1").Inc()
+	bus.Counter("a_total", "k", "2").Inc()
+	bus.Counter("a_total", "k", "1").Add(3)
+	bus.Gauge("m_gauge").Set(-1.5)
+	points := bus.Snapshot()
+	var keys []string
+	for _, p := range points {
+		keys = append(keys, p.Key)
+	}
+	want := []string{`a_total{k="1"}`, `a_total{k="2"}`, "m_gauge", `z_total{k="1"}`}
+	if !reflect.DeepEqual(keys, want) {
+		t.Fatalf("snapshot order %v, want %v", keys, want)
+	}
+}

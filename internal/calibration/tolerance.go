@@ -1,0 +1,178 @@
+package calibration
+
+import (
+	"math"
+	"path"
+	"sort"
+)
+
+// Tolerance is a per-metric acceptance band: a predicted value matches an
+// observed one when |predicted - observed| <= Abs + Rel*|observed|. The
+// zero Tolerance demands exact equality — the right default for a
+// deterministic simulator whose event counts are reproducible bit-for-bit
+// at any worker count.
+type Tolerance struct {
+	Abs float64 `json:"abs"`
+	Rel float64 `json:"rel"`
+}
+
+// Allowance returns the acceptance band half-width around observed.
+func (t Tolerance) Allowance(observed float64) float64 {
+	return t.Abs + t.Rel*math.Abs(observed)
+}
+
+// Rule binds a tolerance to the series it governs. Pattern is a path.Match
+// glob tested against the series' family name first and the full series
+// key second (keys contain no '/', so '*' spans freely); the first
+// matching rule in a rule list wins.
+type Rule struct {
+	Pattern string    `json:"pattern"`
+	Tol     Tolerance `json:"tolerance"`
+}
+
+// Matches reports whether the rule governs the series key.
+func (r Rule) Matches(key string) bool {
+	if ok, _ := path.Match(r.Pattern, familyOfKey(key)); ok {
+		return true
+	}
+	ok, _ := path.Match(r.Pattern, key)
+	return ok
+}
+
+// DefaultRules are the tolerances under which a run must reproduce its
+// own exported metrics (the self-calibration fixed point):
+//
+//   - histogram _sum series carry a small relative tolerance, because
+//     parallel engines add float observations in scheduling order and
+//     a re-run at a different -jobs may accumulate last-bit differences;
+//   - everything else — counters, bucket counts, gauges — is exact:
+//     the simulator's event counts are deterministic at any -jobs.
+func DefaultRules() []Rule {
+	return []Rule{
+		{Pattern: "*_sum", Tol: Tolerance{Rel: 1e-6}},
+		{Pattern: "*", Tol: Tolerance{}},
+	}
+}
+
+// toleranceFor resolves the first matching rule (exact when none match).
+func toleranceFor(rules []Rule, key string) Tolerance {
+	for _, r := range rules {
+		if r.Matches(key) {
+			return r.Tol
+		}
+	}
+	return Tolerance{}
+}
+
+// Check is one compared series: the predicted and observed values, the
+// governing tolerance, and the verdict. Delta is predicted - observed;
+// Allowance the band half-width; Headroom = Allowance - |Delta| (negative
+// on a breach — how far outside the band the series landed).
+type Check struct {
+	Key       string    `json:"series"`
+	Predicted jsonFloat `json:"predicted"`
+	Observed  jsonFloat `json:"observed"`
+	Tol       Tolerance `json:"tolerance"`
+	Delta     jsonFloat `json:"delta"`
+	Allowance jsonFloat `json:"allowance"`
+	Headroom  jsonFloat `json:"headroom"`
+	Pass      bool      `json:"pass"`
+}
+
+// severity orders breaches worst-first: the relative deviation from the
+// observed value (falling back to the absolute delta near zero), with
+// non-finite comparisons pinned to the top.
+func (c Check) severity() float64 {
+	d := math.Abs(float64(c.Delta))
+	if math.IsNaN(d) || math.IsInf(d, 0) {
+		return math.Inf(1)
+	}
+	scale := math.Max(math.Abs(float64(c.Observed)), 1e-12)
+	return d / scale
+}
+
+// Report is the calibration scorecard: every matched series in key order,
+// the breaches ranked worst offender first, the one-sided series each
+// side had that the other did not, and the overall verdict. Pass is true
+// only when every matched series is within tolerance — one-sided series
+// are informational (a JSONL trace cannot reconstruct every family a
+// metrics snapshot carries).
+type Report struct {
+	Checks        []Check    `json:"checks"`
+	Breaches      []Check    `json:"breaches"`
+	PredictedOnly []string   `json:"predicted_only,omitempty"`
+	ObservedOnly  []string   `json:"observed_only,omitempty"`
+	Matched       int        `json:"matched"`
+	Passed        int        `json:"passed"`
+	Pass          bool       `json:"pass"`
+	Fit           *FitResult `json:"fit,omitempty"`
+}
+
+// Compare matches every series present in both sets under the first
+// governing rule and builds the scorecard. Ordering is deterministic:
+// checks in sorted key order, breaches by descending severity (ties on
+// key), one-sided lists sorted.
+func Compare(predicted, observed *MetricSet, rules []Rule) *Report {
+	rep := &Report{Pass: true}
+	keys := make(map[string]uint8, predicted.Len()+observed.Len())
+	for _, k := range predicted.Keys() {
+		keys[k] |= 1
+	}
+	for _, k := range observed.Keys() {
+		keys[k] |= 2
+	}
+	all := make([]string, 0, len(keys))
+	for k := range keys {
+		all = append(all, k)
+	}
+	sort.Strings(all)
+	for _, key := range all {
+		switch keys[key] {
+		case 1:
+			rep.PredictedOnly = append(rep.PredictedOnly, key)
+			continue
+		case 2:
+			rep.ObservedOnly = append(rep.ObservedOnly, key)
+			continue
+		}
+		pv, _ := predicted.Value(key)
+		ov, _ := observed.Value(key)
+		tol := toleranceFor(rules, key)
+		delta := pv - ov
+		allow := tol.Allowance(ov)
+		pass := math.Abs(delta) <= allow
+		if math.IsNaN(pv) || math.IsNaN(ov) {
+			// Two NaNs are the same undefined state (e.g. a gauge neither
+			// side ever set); a one-sided NaN can never be within a band.
+			pass = math.IsNaN(pv) && math.IsNaN(ov)
+		}
+		c := Check{
+			Key: key, Predicted: jsonFloat(pv), Observed: jsonFloat(ov), Tol: tol,
+			Delta: jsonFloat(delta), Allowance: jsonFloat(allow),
+			Headroom: jsonFloat(allow - math.Abs(delta)), Pass: pass,
+		}
+		rep.Checks = append(rep.Checks, c)
+		rep.Matched++
+		if pass {
+			rep.Passed++
+		} else {
+			rep.Breaches = append(rep.Breaches, c)
+			rep.Pass = false
+		}
+	}
+	sort.SliceStable(rep.Breaches, func(i, j int) bool {
+		si, sj := rep.Breaches[i].severity(), rep.Breaches[j].severity()
+		if si != sj {
+			return si > sj
+		}
+		return rep.Breaches[i].Key < rep.Breaches[j].Key
+	})
+	return rep
+}
+
+// ExperimentIDs extracts the experiment ids recorded in an artifact
+// (rhythm_experiments_total{id=...}): the set of experiments a calibrate
+// run must re-run to predict the artifact's metrics.
+func ExperimentIDs(s *MetricSet) []string {
+	return s.LabelValues("rhythm_experiments_total", "id")
+}

@@ -1,0 +1,164 @@
+package calibration
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func setOf(t *testing.T, pairs map[string]float64, types map[string]string) *MetricSet {
+	t.Helper()
+	s := NewMetricSet()
+	for family, typ := range types {
+		s.setType(family, typ)
+	}
+	for key, v := range pairs {
+		// Keys here are pre-canonical (no labels or already sorted).
+		s.values[key] = v
+		s.stale = true
+	}
+	return s
+}
+
+func TestToleranceAllowance(t *testing.T) {
+	tol := Tolerance{Abs: 0.5, Rel: 0.1}
+	if got := tol.Allowance(-10); got != 0.5+1.0 {
+		t.Fatalf("Allowance(-10) = %v", got)
+	}
+	if got := (Tolerance{}).Allowance(1e9); got != 0 {
+		t.Fatalf("zero tolerance allowance = %v", got)
+	}
+}
+
+func TestRuleMatching(t *testing.T) {
+	sum := Rule{Pattern: "*_sum", Tol: Tolerance{Rel: 1e-6}}
+	if !sum.Matches("rhythm_window_p99_seconds_sum") {
+		t.Error("family-level match failed")
+	}
+	if !sum.Matches(`rhythm_pod_sojourn_p99_seconds_sum{pod="MySQL"}`) {
+		t.Error("labeled series must match its family's glob")
+	}
+	if sum.Matches("rhythm_engine_ticks_total") {
+		t.Error("counter must not match *_sum")
+	}
+	exact := Rule{Pattern: `rhythm_decisions_total{action="StopBE"}`, Tol: Tolerance{Abs: 2}}
+	if !exact.Matches(`rhythm_decisions_total{action="StopBE"}`) {
+		t.Error("full-key match failed")
+	}
+}
+
+func TestCompareFixedPointAndBreaches(t *testing.T) {
+	types := map[string]string{"a_total": "counter"}
+	pred := setOf(t, map[string]float64{
+		"a_total": 5, "b_sum": 1.0000001, "c": 3, "pred_only": 1,
+	}, types)
+	obs := setOf(t, map[string]float64{
+		"a_total": 5, "b_sum": 1.0, "c": 4, "obs_only": 2,
+	}, types)
+	rep := Compare(pred, obs, DefaultRules())
+	if rep.Pass {
+		t.Fatal("want FAIL: series c breaches the exact rule")
+	}
+	if rep.Matched != 3 || rep.Passed != 2 {
+		t.Fatalf("matched/passed = %d/%d, want 3/2", rep.Matched, rep.Passed)
+	}
+	if len(rep.Breaches) != 1 || rep.Breaches[0].Key != "c" {
+		t.Fatalf("breaches = %+v", rep.Breaches)
+	}
+	if !reflect.DeepEqual(rep.PredictedOnly, []string{"pred_only"}) ||
+		!reflect.DeepEqual(rep.ObservedOnly, []string{"obs_only"}) {
+		t.Fatalf("one-sided = %v / %v", rep.PredictedOnly, rep.ObservedOnly)
+	}
+	// b_sum passes only because the *_sum relative rule applies.
+	for _, c := range rep.Checks {
+		if c.Key == "b_sum" && !c.Pass {
+			t.Fatal("b_sum should pass under the *_sum Rel rule")
+		}
+	}
+	// Self-comparison is the fixed point.
+	if self := Compare(pred, pred, DefaultRules()); !self.Pass || self.Matched != 4 {
+		t.Fatalf("self-compare = pass %v matched %d", self.Pass, self.Matched)
+	}
+}
+
+func TestCompareBreachOrderingWorstFirst(t *testing.T) {
+	pred := setOf(t, map[string]float64{"tiny": 1.001, "huge": 200, "nan": math.NaN()}, nil)
+	obs := setOf(t, map[string]float64{"tiny": 1, "huge": 100, "nan": 1}, nil)
+	rep := Compare(pred, obs, nil)
+	if len(rep.Breaches) != 3 {
+		t.Fatalf("breaches = %d", len(rep.Breaches))
+	}
+	// NaN comparisons pin to the top, then the 100% deviation, then 0.1%.
+	if rep.Breaches[0].Key != "nan" || rep.Breaches[1].Key != "huge" || rep.Breaches[2].Key != "tiny" {
+		keys := []string{rep.Breaches[0].Key, rep.Breaches[1].Key, rep.Breaches[2].Key}
+		t.Fatalf("breach order = %v", keys)
+	}
+}
+
+func TestCompareNaNBothSidesPasses(t *testing.T) {
+	pred := setOf(t, map[string]float64{"g": math.NaN()}, nil)
+	obs := setOf(t, map[string]float64{"g": math.NaN()}, nil)
+	if rep := Compare(pred, obs, nil); !rep.Pass {
+		t.Fatal("NaN == NaN must pass (same undefined state on both sides)")
+	}
+}
+
+func TestReportWriteTextAndJSON(t *testing.T) {
+	pred := setOf(t, map[string]float64{"a": 2, "b_sum": 1.0000001}, nil)
+	obs := setOf(t, map[string]float64{"a": 1, "b_sum": 1}, nil)
+	rep := Compare(pred, obs, DefaultRules())
+
+	var text bytes.Buffer
+	if err := rep.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	out := text.String()
+	for _, want := range []string{"calibration: FAIL", "worst offenders (1 breach(es))", "a", "least headroom"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text missing %q:\n%s", want, out)
+		}
+	}
+
+	var js bytes.Buffer
+	if err := rep.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]interface{}
+	if err := json.Unmarshal(js.Bytes(), &decoded); err != nil {
+		t.Fatalf("report JSON invalid: %v\n%s", err, js.String())
+	}
+	if decoded["pass"] != false || decoded["matched"] != float64(2) {
+		t.Fatalf("decoded = %v", decoded)
+	}
+
+	// Determinism: rendering twice yields identical bytes.
+	var text2 bytes.Buffer
+	rep.WriteText(&text2)
+	if text.String() != text2.String() {
+		t.Fatal("WriteText not deterministic")
+	}
+}
+
+func TestJSONFloatNullRoundTrip(t *testing.T) {
+	b, err := json.Marshal(struct {
+		V jsonFloat `json:"v"`
+	}{jsonFloat(math.Inf(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"v":null}` {
+		t.Fatalf("marshal = %s", b)
+	}
+	var back struct {
+		V jsonFloat `json:"v"`
+	}
+	if err := json.Unmarshal([]byte(`{"v":null}`), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(float64(back.V)) {
+		t.Fatalf("null -> %v, want NaN", float64(back.V))
+	}
+}

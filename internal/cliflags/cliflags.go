@@ -148,6 +148,33 @@ func (f *Fleet) Validate() error {
 	return nil
 }
 
+// Calibrate is the flag group of the calibrate subcommand: the observed
+// artifact to read back (required), the optional auto-fit pass and the
+// optional machine-readable report path.
+type Calibrate struct {
+	Observed string
+	Fit      bool
+	Report   string
+}
+
+// Register binds -observed, -fit and -report.
+func (c *Calibrate) Register(fs *flag.FlagSet) {
+	fs.StringVar(&c.Observed, "observed", "",
+		"observed-metrics artifact: a -metrics-out Prometheus snapshot or a -trace-out JSONL trace")
+	fs.BoolVar(&c.Fit, "fit", false,
+		"bisection-fit workload distribution corrections (service-time mu/sigma, arrival rate) to the observed tail")
+	fs.StringVar(&c.Report, "report", "",
+		"also write the calibration scorecard as JSON to this file")
+}
+
+// Validate requires the observed artifact.
+func (c *Calibrate) Validate() error {
+	if c.Observed == "" {
+		return fmt.Errorf("calibrate needs -observed <metrics.prom|trace.jsonl>")
+	}
+	return nil
+}
+
 // Scenario is the -scenario selector: empty (no scenario), or a path to
 // a workload-spec file (SCENARIOS.md format, .json or .yaml/.yml).
 type Scenario struct {

@@ -343,6 +343,12 @@ type podRuntime struct {
 	rng     *sim.RNG
 	growSeq int
 
+	// Per-pod calibration instruments (nil without a bus; every use is
+	// nil-safe): the analytic sojourn p99 the current operating point
+	// implies, and completed BE jobs on this machine.
+	obsSojournP99  *obs.Histogram
+	obsCompletions *obs.Counter
+
 	// Smoothed interference state (Config.InertiaTau).
 	smoothedInflate float64
 	smoothedCV      float64
@@ -426,6 +432,7 @@ type Engine struct {
 	obsBE        map[string]*obs.Counter
 	obsSlackH    *obs.Histogram
 	obsP99H      *obs.Histogram
+	obsLoadH     *obs.Histogram
 }
 
 // New builds an engine: one machine per Servpod, LC pinned per the
@@ -452,7 +459,8 @@ func New(cfg Config) (*Engine, error) {
 	} else {
 		e.stats.Policy = "solo"
 	}
-	if bus := obs.Active(); bus != nil {
+	bus := obs.Active()
+	if bus != nil {
 		label := cfg.Label
 		if label == "" {
 			label = fmt.Sprintf("%s|%s|seed=%d", cfg.Service.Name, e.stats.Policy, cfg.Seed)
@@ -469,6 +477,7 @@ func New(cfg Config) (*Engine, error) {
 		}
 		e.obsSlackH = bus.Histogram("rhythm_decision_slack", obs.DefBuckets)
 		e.obsP99H = bus.Histogram("rhythm_window_p99_seconds", obs.LatencyBuckets)
+		e.obsLoadH = bus.Histogram("rhythm_offered_load", obs.DefBuckets)
 		e.obsFaults = bus.Counter("rhythm_fault_events_total")
 	}
 	for i, comp := range cfg.Service.Components {
@@ -479,13 +488,23 @@ func New(cfg Config) (*Engine, error) {
 		}
 		ps := &PodStats{Pod: comp.Name}
 		e.stats.PerPod[comp.Name] = ps
-		e.pods = append(e.pods, &podRuntime{
+		p := &podRuntime{
 			comp:    comp,
 			machine: m,
 			agent:   agent,
 			stats:   ps,
 			rng:     e.rng.Fork("pod-" + comp.Name),
-		})
+		}
+		if bus != nil {
+			// Per-Servpod calibration series. Fleet replicas share
+			// component names, so replicated pods aggregate into one
+			// series per component — the granularity a deployment's own
+			// dashboards use.
+			p.obsSojournP99 = bus.Histogram("rhythm_pod_sojourn_p99_seconds",
+				obs.LatencyBuckets, "pod", comp.Name)
+			p.obsCompletions = bus.Counter("rhythm_be_completions_total", "pod", comp.Name)
+		}
+		e.pods = append(e.pods, p)
 	}
 	e.podByName = make(map[string]*podRuntime, len(e.pods))
 	for _, p := range e.pods {
@@ -509,6 +528,10 @@ func New(cfg Config) (*Engine, error) {
 
 // beOps are the BE lifecycle transitions the engine reports on the bus.
 var beOps = []string{"launch", "kill", "suspend", "resume", "grow", "cut", "crash"}
+
+// z99 is the standard-normal 0.99 quantile, the multiplier that turns the
+// cached lognormal (mu, sigma) into a per-pod sojourn p99.
+var z99 = sim.NormQuantile(0.99)
 
 // beEvent records one BE lifecycle transition on the bus, with the
 // instance's allocation after the transition. Free when no bus is active.
@@ -708,7 +731,11 @@ func (e *Engine) tick(now sim.Time, load float64) {
 				}
 			}
 			rate := in.Rate(alloc.Cores, instSat) * freqScale
-			p.stats.Completions += in.Advance(rate, dt.Hours())
+			done := in.Advance(rate, dt.Hours())
+			p.stats.Completions += done
+			if done > 0 {
+				p.obsCompletions.Add(uint64(done))
+			}
 			beRate += rate
 		}
 		if measuring {
@@ -878,8 +905,16 @@ func (e *Engine) controlTick(now sim.Time, load float64) {
 	if !math.IsNaN(p99) {
 		e.obsP99H.Observe(p99)
 	}
+	e.obsLoadH.Observe(load)
 	hasBE := e.cfg.Policy != nil && (len(e.cfg.BETypes) > 0 || e.cfg.ExternalBE)
 	for _, p := range e.pods {
+		if p.sojournOK {
+			// Per-Servpod analytic tail at the current operating point:
+			// the p99 of the pod's fitted lognormal sojourn. This is the
+			// series `rhythm calibrate` matches against a deployment's
+			// per-pod latency dashboards.
+			p.obsSojournP99.Observe(math.Exp(p.sjMu + z99*p.sjSigma))
+		}
 		var act controller.Action
 		switch {
 		case !hasBE:

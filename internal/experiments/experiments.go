@@ -313,6 +313,10 @@ func (c *Context) Run(id string) (*Table, error) {
 	if bus := obs.Active(); bus != nil {
 		sc = bus.Scope("experiment:" + id)
 		sc.Experiment(id, "start")
+		// The id-labeled counter records in the metrics artifact which
+		// experiments produced it; `rhythm calibrate` reads the labels
+		// back to know what to re-run (calibration.ExperimentIDs).
+		bus.Counter("rhythm_experiments_total", "id", id).Inc()
 	}
 	tab, err := e.Run(c)
 	sc.Experiment(id, "end")

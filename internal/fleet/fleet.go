@@ -49,6 +49,7 @@ import (
 	"rhythm/internal/controller"
 	"rhythm/internal/engine"
 	"rhythm/internal/loadgen"
+	"rhythm/internal/obs"
 	"rhythm/internal/scheduler"
 	"rhythm/internal/sim"
 	"rhythm/internal/workload"
@@ -134,6 +135,15 @@ type Fleet struct {
 	// allocation-free at steady state.
 	views  []engine.MachineView
 	states []scheduler.MachineState
+
+	// Observability (nil/zero without a bus at New time). The fleet emits
+	// only from the serial sections — arrivals and the epoch barrier — so
+	// traced runs stay byte-identical on stdout at any -jobs: epoch
+	// brackets as run events, BE queue transitions (dispatch, requeue,
+	// evict) as be events, and the post-barrier queue depth as a gauge.
+	obsScope   obs.Scope
+	obsPending *obs.Gauge
+	obsEpochs  *obs.Counter
 }
 
 // New builds a fleet. Entries are deployed in order; replica r of entry
@@ -166,6 +176,11 @@ func New(cfg Config) (*Fleet, error) {
 		cfg:    cfg,
 		owners: make(map[string]owner),
 		sched:  scheduler.New(cfg.QueueLimit),
+	}
+	if bus := obs.Active(); bus != nil {
+		f.obsScope = bus.Scope("fleet")
+		f.obsPending = bus.Gauge("rhythm_fleet_pending_jobs")
+		f.obsEpochs = bus.Counter("rhythm_fleet_epochs_total")
 	}
 	for i, ent := range cfg.Entries {
 		if ent.Service == nil || ent.Replicas <= 0 {
@@ -214,6 +229,10 @@ func (f *Fleet) Epochs() int { return f.epochs }
 // barrier serially in replica order.
 func (f *Fleet) Step() {
 	epochEnd := f.now.Add(f.cfg.Epoch)
+	if f.obsScope.Enabled() {
+		// Reason strings are built only under an installed bus.
+		f.obsScope.RunPhase(int64(f.now), "epoch-start", fmt.Sprintf("epoch %d", f.epochs))
+	}
 
 	// Arrivals: a Poisson batch for this epoch from its own substream.
 	mean := f.cfg.ArrivalsPerMachineHour * float64(f.machines) * f.cfg.Epoch.Hours()
@@ -235,7 +254,13 @@ func (f *Fleet) Step() {
 	// re-enters at the queue head before this epoch's dispatch.
 	for _, rep := range f.replicas {
 		for _, ev := range rep.eng.TakeEvicted() {
-			f.sched.Requeue(scheduler.Job{ID: ev.ID, Type: ev.Type, SubmittedAt: epochEnd})
+			if f.obsScope.Enabled() {
+				f.obsScope.BE(int64(epochEnd), rep.name+"/"+ev.Pod, ev.ID, "evict", 0, 0)
+			}
+			if f.sched.Requeue(scheduler.Job{ID: ev.ID, Type: ev.Type, SubmittedAt: epochEnd}) &&
+				f.obsScope.Enabled() {
+				f.obsScope.BE(int64(epochEnd), rep.name+"/"+ev.Pod, ev.ID, "requeue", 0, 0)
+			}
 		}
 	}
 	f.views = f.views[:0]
@@ -258,16 +283,27 @@ func (f *Fleet) Step() {
 		rep := f.replicas[o.rep]
 		if rep.eng.AdmitBE(o.pod, as.Job.Type, as.Job.ID) {
 			f.waits = append(f.waits, as.Waited.Seconds())
+			if f.obsScope.Enabled() {
+				f.obsScope.BE(int64(epochEnd), as.Machine, as.Job.ID, "dispatch", 0, 0)
+			}
 		} else {
 			// The fit check passed on free cores and memory, but the
 			// isolation agent also needs LLC ways for the starting
 			// slice; back to the queue head for the next epoch.
-			f.sched.Requeue(as.Job)
+			if f.sched.Requeue(as.Job) && f.obsScope.Enabled() {
+				f.obsScope.BE(int64(epochEnd), as.Machine, as.Job.ID, "requeue", 0, 0)
+			}
 		}
 	}
 
 	f.now = epochEnd
 	f.epochs++
+	f.obsEpochs.Inc()
+	f.obsPending.Set(float64(f.sched.Pending()))
+	if f.obsScope.Enabled() {
+		f.obsScope.RunPhase(int64(epochEnd), "epoch-end",
+			fmt.Sprintf("epoch %d: %d pending", f.epochs-1, f.sched.Pending()))
+	}
 }
 
 // Run executes the configured duration (rounded up to whole epochs) and

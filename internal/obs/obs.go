@@ -335,21 +335,9 @@ func (s Scope) Fault(atNanos int64, pod, kind, op string, magnitude float64, rea
 // so consumers cache instrument pointers once (nil when the bus is
 // disabled) and call them unconditionally on hot paths.
 
-// metricKey renders name plus label pairs in Prometheus exposition form:
-// name{k1="v1",k2="v2"}. Labels must come in pairs.
-func metricKey(name string, labels []string) string {
-	if len(labels) == 0 {
-		return name
-	}
-	out := name + "{"
-	for i := 0; i+1 < len(labels); i += 2 {
-		if i > 0 {
-			out += ","
-		}
-		out += labels[i] + `="` + labels[i+1] + `"`
-	}
-	return out + "}"
-}
+// Series keys render through the shared exposition grammar (SeriesKey in
+// promtext.go), so instrument registration, the metrics sink and the
+// calibration importer all agree on the same name{k="v"} spelling.
 
 // Counter is a monotonically increasing instrument.
 type Counter struct {
@@ -381,7 +369,7 @@ func (b *Bus) Counter(name string, labels ...string) *Counter {
 	if b == nil {
 		return nil
 	}
-	key := metricKey(name, labels)
+	key := SeriesKey(name, labels)
 	b.imu.Lock()
 	defer b.imu.Unlock()
 	c, ok := b.counters[key]
@@ -433,7 +421,7 @@ func (b *Bus) Gauge(name string, labels ...string) *Gauge {
 	if b == nil {
 		return nil
 	}
-	key := metricKey(name, labels)
+	key := SeriesKey(name, labels)
 	b.imu.Lock()
 	defer b.imu.Unlock()
 	g, ok := b.gauges[key]
@@ -484,22 +472,33 @@ func (h *Histogram) Count() uint64 {
 	return h.count.Load()
 }
 
+// Sum returns the sum of observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
 // Histogram returns (creating on first use) the histogram with the given
-// name and bucket bounds; bounds are fixed by the first call. Returns nil
-// on a nil bus.
-func (b *Bus) Histogram(name string, bounds []float64) *Histogram {
+// name, bucket bounds and label pairs; bounds are fixed by the series'
+// first call. Returns nil on a nil bus. Series of one family should share
+// bounds (per-pod latency series do), so a family snapshot reads as one
+// coherent Prometheus histogram family.
+func (b *Bus) Histogram(name string, bounds []float64, labels ...string) *Histogram {
 	if b == nil {
 		return nil
 	}
+	key := SeriesKey(name, labels)
 	b.imu.Lock()
 	defer b.imu.Unlock()
-	h, ok := b.histograms[name]
+	h, ok := b.histograms[key]
 	if !ok {
 		h = &Histogram{
 			bounds: append([]float64(nil), bounds...),
 			counts: make([]atomic.Uint64, len(bounds)+1),
 		}
-		b.histograms[name] = h
+		b.histograms[key] = h
 	}
 	return h
 }

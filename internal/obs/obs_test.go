@@ -403,10 +403,13 @@ func TestKindStrings(t *testing.T) {
 
 // TestMetricKey: the exposition-format series key.
 func TestMetricKey(t *testing.T) {
-	if got := metricKey("n", nil); got != "n" {
-		t.Fatalf("metricKey no labels = %q", got)
+	if got := SeriesKey("n", nil); got != "n" {
+		t.Fatalf("SeriesKey no labels = %q", got)
 	}
-	if got := metricKey("n", []string{"a", "1", "b", "2"}); got != `n{a="1",b="2"}` {
-		t.Fatalf("metricKey = %q", got)
+	if got := SeriesKey("n", []string{"a", "1", "b", "2"}); got != `n{a="1",b="2"}` {
+		t.Fatalf("SeriesKey = %q", got)
+	}
+	if got := SeriesKey("n", []string{"a", `x"y\z`}); got != `n{a="x\"y\\z"}` {
+		t.Fatalf("SeriesKey escaped = %q", got)
 	}
 }

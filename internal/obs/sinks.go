@@ -5,9 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
 	"strconv"
-	"strings"
 	"sync"
 )
 
@@ -389,79 +387,51 @@ func (s *MemorySink) Reset() {
 // text exposition format. Families are sorted by name and series within a
 // family by key, so successive snapshots diff cleanly; histogram buckets
 // render cumulatively in bound order (the le ordering the exposition
-// format requires) ending at +Inf, followed by _sum and _count.
+// format requires) ending at +Inf, followed by _sum and _count. Every
+// line goes through the shared grammar of promtext.go, which is what the
+// calibration importer parses — the round-trip is pinned by test.
 func (b *Bus) WriteMetrics(w io.Writer) error {
 	if b == nil {
 		return nil
 	}
-	type family struct {
-		typ    string
-		lines  []string
-		sorted bool // counter/gauge series sort by key; histograms keep bound order
-	}
-	fams := make(map[string]*family)
-	get := func(name, typ string, sorted bool) *family {
-		f, ok := fams[name]
-		if !ok {
-			f = &family{typ: typ, sorted: sorted}
-			fams[name] = f
+	points := b.Snapshot()
+	prevFamily := ""
+	for _, p := range points {
+		if p.Name != prevFamily {
+			prevFamily = p.Name
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", p.Name, p.Type); err != nil {
+				return err
+			}
 		}
-		return f
-	}
-
-	b.imu.Lock()
-	for key, c := range b.counters {
-		f := get(familyOf(key), "counter", true)
-		f.lines = append(f.lines, fmt.Sprintf("%s %d", key, c.Value()))
-	}
-	for key, g := range b.gauges {
-		f := get(familyOf(key), "gauge", true)
-		f.lines = append(f.lines, fmt.Sprintf("%s %s", key, formatFloat(g.Value())))
-	}
-	for name, h := range b.histograms {
-		f := get(name, "histogram", false)
-		cum := uint64(0)
-		for i, bound := range h.bounds {
-			cum += h.counts[i].Load()
-			f.lines = append(f.lines,
-				fmt.Sprintf("%s_bucket{le=%q} %d", name, formatFloat(bound), cum))
-		}
-		cum += h.counts[len(h.bounds)].Load()
-		f.lines = append(f.lines, fmt.Sprintf(`%s_bucket{le="+Inf"} %d`, name, cum))
-		sum := math.Float64frombits(h.sumBits.Load())
-		f.lines = append(f.lines, fmt.Sprintf("%s_sum %s", name, formatFloat(sum)))
-		f.lines = append(f.lines, fmt.Sprintf("%s_count %d", name, h.count.Load()))
-	}
-	b.imu.Unlock()
-
-	names := make([]string, 0, len(fams))
-	for name := range fams {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		f := fams[name]
-		if f.sorted {
-			sort.Strings(f.lines)
-		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, f.typ); err != nil {
-			return err
-		}
-		for _, line := range f.lines {
-			if _, err := fmt.Fprintln(w, line); err != nil {
+		switch p.Type {
+		case "histogram":
+			for i, bound := range p.Bounds {
+				if _, err := fmt.Fprintf(w, "%s %d\n",
+					BucketKey(p.Name, p.Labels, bound), p.Cumulative[i]); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n",
+				BucketKey(p.Name, p.Labels, math.Inf(1)), p.Cumulative[len(p.Bounds)]); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %s\n",
+				SeriesKey(p.Name+"_sum", p.Labels), FormatMetricValue(p.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n",
+				SeriesKey(p.Name+"_count", p.Labels), p.Count); err != nil {
+				return err
+			}
+		case "counter":
+			if _, err := fmt.Fprintf(w, "%s %d\n", p.Key, uint64(p.Value)); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s %s\n", p.Key, FormatMetricValue(p.Value)); err != nil {
 				return err
 			}
 		}
 	}
 	return nil
 }
-
-// familyOf strips the label set from a series key.
-func familyOf(key string) string {
-	if i := strings.IndexByte(key, '{'); i >= 0 {
-		return key[:i]
-	}
-	return key
-}
-
-func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

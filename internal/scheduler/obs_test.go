@@ -1,0 +1,72 @@
+package scheduler
+
+import (
+	"testing"
+
+	"rhythm/internal/bejobs"
+	"rhythm/internal/obs"
+	"rhythm/internal/sim"
+)
+
+// TestSchedulerHealthCounters pins the scheduler's obs instruments: every
+// queue transition lands in exactly one health counter, and the depth
+// gauge tracks Pending(). A scheduler built without an installed bus must
+// behave identically (nil-safe instruments) — the zero-value path is
+// exercised by every other test in this package.
+func TestSchedulerHealthCounters(t *testing.T) {
+	bus := obs.NewBus()
+	obs.Install(bus)
+	defer obs.Uninstall()
+
+	s := New(2)
+	if _, err := s.Submit(bejobs.Wordcount, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(bejobs.LSTM, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(bejobs.CPUStress, 0); err == nil {
+		t.Fatal("third submit should be rejected by the 2-slot queue")
+	}
+	if v := bus.Gauge("rhythm_sched_queue_depth").Value(); v != 2 {
+		t.Fatalf("queue depth gauge = %v, want 2", v)
+	}
+
+	as := s.Dispatch([]MachineState{
+		{Name: "m0", Accepting: true, FreeCores: 64, FreeMemoryGB: 256},
+	}, sim.FromSeconds(1))
+	if len(as) == 0 {
+		t.Fatal("dispatch assigned nothing")
+	}
+	if !s.Requeue(as[0].Job) {
+		t.Fatal("requeue into spare capacity must succeed")
+	}
+	// Fill the queue, then drop a requeue on the floor.
+	for s.Pending() < 2 {
+		if _, err := s.Submit(bejobs.Wordcount, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Requeue(Job{ID: "lost", Type: bejobs.LSTM}) {
+		t.Fatal("requeue into a full queue must fail")
+	}
+
+	wantCounters := map[string]uint64{
+		"rhythm_sched_submitted_total":       uint64(s.Submitted()),
+		"rhythm_sched_rejected_total":        uint64(s.Dropped()),
+		"rhythm_sched_requeued_total":        uint64(s.Requeued()),
+		"rhythm_sched_requeue_dropped_total": uint64(s.RequeueDropped()),
+		"rhythm_sched_dispatched_total":      uint64(s.Dispatched()),
+	}
+	for name, want := range wantCounters {
+		if want == 0 {
+			t.Errorf("test did not exercise %s", name)
+		}
+		if got := bus.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if v := bus.Gauge("rhythm_sched_queue_depth").Value(); v != float64(s.Pending()) {
+		t.Fatalf("queue depth gauge = %v, want %d", v, s.Pending())
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"rhythm/internal/bejobs"
+	"rhythm/internal/obs"
 	"rhythm/internal/sim"
 )
 
@@ -64,6 +65,17 @@ type Scheduler struct {
 
 	dispatched int
 	totalWait  sim.Time
+
+	// Health instruments (nil without a bus at New time; every use is
+	// nil-safe). These are the scheduler-side calibration series: a
+	// deployment's batch system exports the same admission/requeue/loss
+	// counters, so `rhythm calibrate` can match queue health directly.
+	obsSubmitted      *obs.Counter
+	obsRejected       *obs.Counter
+	obsRequeued       *obs.Counter
+	obsRequeueDropped *obs.Counter
+	obsDispatched     *obs.Counter
+	obsQueueDepth     *obs.Gauge
 }
 
 // New returns a scheduler with the given queue capacity (jobs submitted
@@ -72,7 +84,16 @@ func New(queueLimit int) *Scheduler {
 	if queueLimit <= 0 {
 		queueLimit = 1024
 	}
-	return &Scheduler{limit: queueLimit}
+	s := &Scheduler{limit: queueLimit}
+	if bus := obs.Active(); bus != nil {
+		s.obsSubmitted = bus.Counter("rhythm_sched_submitted_total")
+		s.obsRejected = bus.Counter("rhythm_sched_rejected_total")
+		s.obsRequeued = bus.Counter("rhythm_sched_requeued_total")
+		s.obsRequeueDropped = bus.Counter("rhythm_sched_requeue_dropped_total")
+		s.obsDispatched = bus.Counter("rhythm_sched_dispatched_total")
+		s.obsQueueDepth = bus.Gauge("rhythm_sched_queue_depth")
+	}
+	return s
 }
 
 // Submit enqueues a BE job. It returns the job (with its assigned ID) or
@@ -83,12 +104,15 @@ func (s *Scheduler) Submit(t bejobs.Type, now sim.Time) (Job, error) {
 	}
 	if len(s.queue) >= s.limit {
 		s.dropped++
+		s.obsRejected.Inc()
 		return Job{}, fmt.Errorf("scheduler: queue full (%d jobs)", s.limit)
 	}
 	s.seq++
 	s.submitted++
+	s.obsSubmitted.Inc()
 	j := Job{ID: fmt.Sprintf("be-%d", s.seq), Type: t, SubmittedAt: now}
 	s.queue = append(s.queue, j)
+	s.obsQueueDepth.Set(float64(len(s.queue)))
 	return j, nil
 }
 
@@ -101,10 +125,13 @@ func (s *Scheduler) Submit(t bejobs.Type, now sim.Time) (Job, error) {
 func (s *Scheduler) Requeue(j Job) bool {
 	if len(s.queue) >= s.limit {
 		s.requeueDropped++
+		s.obsRequeueDropped.Inc()
 		return false
 	}
 	s.requeued++
+	s.obsRequeued.Inc()
 	s.queue = append([]Job{j}, s.queue...)
+	s.obsQueueDepth.Set(float64(len(s.queue)))
 	return true
 }
 
@@ -200,8 +227,12 @@ func (s *Scheduler) Dispatch(machines []MachineState, now sim.Time) []Assignment
 		s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
 		waited := now - j.SubmittedAt
 		s.dispatched++
+		s.obsDispatched.Inc()
 		s.totalWait += waited
 		out = append(out, Assignment{Job: j, Machine: m.Name, Waited: waited})
+	}
+	if len(out) > 0 {
+		s.obsQueueDepth.Set(float64(len(s.queue)))
 	}
 	return out
 }

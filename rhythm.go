@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"rhythm/internal/bejobs"
+	"rhythm/internal/calibration"
 	"rhythm/internal/controller"
 	"rhythm/internal/core"
 	"rhythm/internal/engine"
@@ -142,6 +143,18 @@ type (
 	// FleetProfile is a named fleet composition preset (fleet4, fleet100,
 	// fleet1000).
 	FleetProfile = fleet.Profile
+	// MetricSet is a typed collection of metric series parsed from an
+	// exported artifact or snapshotted from a live Bus.
+	MetricSet = calibration.MetricSet
+	// CalibrationRule binds a tolerance to the metric series it governs.
+	CalibrationRule = calibration.Rule
+	// CalibrationTolerance is a per-metric abs/rel acceptance band.
+	CalibrationTolerance = calibration.Tolerance
+	// CalibrationReport is the pass/fail scorecard from CompareMetrics.
+	CalibrationReport = calibration.Report
+	// CalibrationFit is the result of fitting workload-distribution
+	// corrections (mu shift, sigma scale, rate scale) to observed tails.
+	CalibrationFit = calibration.FitResult
 )
 
 // The seven BE job types of Table 1.
@@ -290,3 +303,37 @@ func FleetPresets() []string { return fleet.Presets() }
 
 // FleetPresetProfile returns the named preset's composition.
 func FleetPresetProfile(name string) (FleetProfile, error) { return fleet.PresetProfile(name) }
+
+// ImportMetrics parses an exported artifact — a Prometheus text-format
+// snapshot (-metrics-out) or a JSONL decision trace (-trace-out) — into a
+// MetricSet, dispatching on the file extension.
+func ImportMetrics(path string) (*MetricSet, error) { return calibration.ImportFile(path) }
+
+// ImportPrometheusMetrics parses Prometheus text exposition format.
+func ImportPrometheusMetrics(r io.Reader) (*MetricSet, error) {
+	return calibration.ImportPrometheus(r)
+}
+
+// ImportTraceMetrics reconstructs engine metrics from a JSONL trace.
+func ImportTraceMetrics(r io.Reader) (*MetricSet, error) { return calibration.ImportJSONL(r) }
+
+// SnapshotMetrics captures a bus's instruments as a MetricSet, keyed
+// exactly as the Prometheus sink writes them.
+func SnapshotMetrics(bus *Bus) *MetricSet { return calibration.Snapshot(bus) }
+
+// CompareMetrics validates predicted series against observed ones under
+// per-metric tolerance rules; the report lists breaches worst-first.
+func CompareMetrics(predicted, observed *MetricSet, rules []CalibrationRule) *CalibrationReport {
+	return calibration.Compare(predicted, observed, rules)
+}
+
+// DefaultCalibrationRules are the tolerances under which a run must
+// reproduce its own export (the self-calibration fixed point).
+func DefaultCalibrationRules() []CalibrationRule { return calibration.DefaultRules() }
+
+// FitCalibration estimates workload-distribution corrections (service-time
+// mu shift and sigma scale, arrival-rate scale) that bring the predicted
+// tail onto the observed one.
+func FitCalibration(predicted, observed *MetricSet) (*CalibrationFit, error) {
+	return calibration.FitReport(predicted, observed)
+}
