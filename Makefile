@@ -14,7 +14,7 @@ GO ?= go
 # CI always has network and runs it for real.
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: check fmt vet build test exact race staticcheck bench bench-tables bench-compare golden golden-update scenario-lint calibrate-smoke
+.PHONY: check fmt vet build test exact race staticcheck bench bench-tables bench-compare bench-gate golden golden-update scenario-lint calibrate-smoke
 
 check: fmt vet build exact race staticcheck
 
@@ -63,12 +63,21 @@ bench-tables:
 
 # bench-compare diffs a fresh benchmark run against the committed
 # BENCH_engine.json baseline: per-benchmark ns/op, allocs/op and B/op
-# deltas, signed and with percentages. Informational only — it never fails;
-# regressions are judged by a human (or flagged by CI's non-blocking
-# quick-bench job).
+# deltas, signed and with percentages. Informational only — it never
+# fails; use bench-gate for the blocking form.
 bench-compare:
 	$(GO) run ./cmd/rhythm-bench -out /tmp/rhythm-bench-new.json
 	$(GO) run ./cmd/rhythm-bench -compare BENCH_engine.json /tmp/rhythm-bench-new.json
+
+# bench-gate is bench-compare with teeth: the full drift table prints,
+# then the run fails if EngineTick or FleetTick regressed more than 25%
+# ns/op against the committed baseline. The other rows (per-pass
+# sub-benchmarks, trackers, obs) stay informational at any drift — they
+# attribute a regression, they don't gate. CI's quick-bench job runs this
+# as a blocking check.
+bench-gate:
+	$(GO) run ./cmd/rhythm-bench -out /tmp/rhythm-bench-new.json
+	$(GO) run ./cmd/rhythm-bench -compare -gate BENCH_engine.json /tmp/rhythm-bench-new.json
 
 # golden verifies the byte-determinism contract end to end: a quick
 # seed-2020 run of the fig2+fig7 subset (Station.At, the batched path-tail

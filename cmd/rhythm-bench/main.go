@@ -28,8 +28,11 @@
 // with percentages) between two report files — `make bench-compare` wires
 // it to a saved baseline. Comparison is by benchmark name, so reordered or
 // partially overlapping reports still line up; benchmarks present in only
-// one file are listed as added/removed. -compare only reads and reports; it
-// never fails on a regression (CI uses it as a non-blocking drift report).
+// one file are listed as added/removed. Plain -compare only reads and
+// reports; adding -gate makes it exit non-zero when a gated row
+// (EngineTick, FleetTick) regresses more than 25% ns/op — the blocking
+// drift check `make bench-gate` and CI's quick-bench job run. The other
+// rows stay informational at any drift.
 //
 // -jobs caps GOMAXPROCS for the benchmarked operations, sharing the
 // fleet-wide default and validation path (internal/cliflags) with the
@@ -43,6 +46,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"text/tabwriter"
 
@@ -78,10 +82,27 @@ var registry = []struct {
 	{"TailTrackerAdd", benchmarks.TailTrackerAdd},
 	{"TailTrackerAddP99", benchmarks.TailTrackerAddP99},
 	{"EngineTick", benchmarks.EngineTick},
+	{"EngineTickDemand", benchmarks.EngineTickDemand},
+	{"EngineTickInflation", benchmarks.EngineTickInflation},
+	{"EngineTickSojourn", benchmarks.EngineTickSojourn},
+	{"EngineTickSample", benchmarks.EngineTickSample},
 	{"FleetTick", benchmarks.FleetTick},
 	{"PathP99", benchmarks.PathP99},
 	{"ObsDisabled", benchmarks.ObsDisabled},
 }
+
+// gated are the benchmarks -gate blocks on: the two acceptance-gate rows
+// every PR pins (the engine hot tick and the fleet epoch). The remaining
+// rows — sub-passes, trackers, obs — are attribution aids and stay
+// informational, so a noisy CI host can't fail a build over a benchmark
+// nobody gates on.
+var gated = map[string]bool{"EngineTick": true, "FleetTick": true}
+
+// gateTolerance is the fractional ns/op regression -gate tolerates on a
+// gated row before failing (wall time on shared CI runners is noisy; 25%
+// is far outside the observed jitter but well inside a real regression
+// from an accidental hot-path allocation).
+const gateTolerance = 0.25
 
 func main() {
 	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
@@ -94,6 +115,7 @@ func realMain(argv []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	out := fs.String("out", "BENCH_engine.json", "output file (- for stdout)")
 	compare := fs.Bool("compare", false, "compare two report files: rhythm-bench -compare old.json new.json")
+	gate := fs.Bool("gate", false, "with -compare: fail when a gated benchmark (EngineTick, FleetTick) regresses more than 25% ns/op")
 	var common cliflags.Common
 	common.RegisterJobs(fs)
 	if err := fs.Parse(argv); err != nil {
@@ -112,7 +134,7 @@ func realMain(argv []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "usage: rhythm-bench -compare old.json new.json")
 			return 2
 		}
-		if err := compareReports(fs.Arg(0), fs.Arg(1), stdout); err != nil {
+		if err := compareReports(fs.Arg(0), fs.Arg(1), *gate, stdout); err != nil {
 			fmt.Fprintln(stderr, "rhythm-bench:", err)
 			return 1
 		}
@@ -196,8 +218,10 @@ func delta(old, new float64, format string) string {
 
 // compareReports prints the per-benchmark drift between two report files.
 // It matches benchmarks by name so partially overlapping registries still
-// line up, and lists additions/removals explicitly.
-func compareReports(oldPath, newPath string, w io.Writer) error {
+// line up, and lists additions/removals explicitly. With gate set it
+// returns an error — after printing the full table — when any gated
+// benchmark's ns/op regressed beyond gateTolerance.
+func compareReports(oldPath, newPath string, gate bool, w io.Writer) error {
 	oldRep, err := loadReport(oldPath)
 	if err != nil {
 		return err
@@ -214,6 +238,7 @@ func compareReports(oldPath, newPath string, w io.Writer) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "benchmark\told ns/op\tnew ns/op\tΔ ns/op\tΔ allocs/op\tΔ B/op\n")
 	seen := make(map[string]bool, len(newRep.Benchmarks))
+	var violations []string
 	for _, n := range newRep.Benchmarks {
 		seen[n.Name] = true
 		o, ok := oldBy[n.Name]
@@ -227,11 +252,21 @@ func compareReports(oldPath, newPath string, w io.Writer) error {
 			delta(o.NsPerOp, n.NsPerOp, ".1f"),
 			delta(float64(o.AllocsPerOp), float64(n.AllocsPerOp), ".0f"),
 			delta(float64(o.BytesPerOp), float64(n.BytesPerOp), ".0f"))
+		if gate && gated[n.Name] && o.NsPerOp > 0 && n.NsPerOp > o.NsPerOp*(1+gateTolerance) {
+			violations = append(violations, fmt.Sprintf("%s regressed %.1f -> %.1f ns/op (%+.1f%%, gate %.0f%%)",
+				n.Name, o.NsPerOp, n.NsPerOp, 100*(n.NsPerOp-o.NsPerOp)/o.NsPerOp, 100*gateTolerance))
+		}
 	}
 	for _, o := range oldRep.Benchmarks {
 		if !seen[o.Name] {
 			fmt.Fprintf(tw, "%s\t%.1f\t-\t(removed)\t\t\n", o.Name, o.NsPerOp)
 		}
 	}
-	return tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("gate: %s", strings.Join(violations, "; "))
+	}
+	return nil
 }

@@ -4,9 +4,13 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
+
+// fmtFloat renders a benchmark ns/op value as a JSON number.
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
 
 func writeReport(t *testing.T, dir, name, body string) string {
 	t.Helper()
@@ -35,7 +39,7 @@ func TestCompareReports(t *testing.T) {
 }`)
 
 	var sb strings.Builder
-	if err := compareReports(old, new, &sb); err != nil {
+	if err := compareReports(old, new, false, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -84,7 +88,66 @@ func TestCompareReportsBadSchema(t *testing.T) {
 	bad := writeReport(t, dir, "bad.json", `{"schema": "other/v9"}`)
 	good := writeReport(t, dir, "good.json", `{"schema": "rhythm-bench/v1"}`)
 	var sb strings.Builder
-	if err := compareReports(bad, good, &sb); err == nil {
+	if err := compareReports(bad, good, false, &sb); err == nil {
 		t.Fatal("expected schema error")
+	}
+}
+
+// TestCompareGate pins the blocking-drift contract: with gate set, a >25%
+// ns/op regression on a gated row (EngineTick, FleetTick) fails after the
+// table prints, while any drift on a non-gated row — and regressions
+// within tolerance — pass.
+func TestCompareGate(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", `{
+  "schema": "rhythm-bench/v1", "goos": "linux", "goarch": "amd64", "cpus": 1,
+  "benchmarks": [
+    {"name": "EngineTick", "iters": 100, "ns_per_op": 10000, "allocs_per_op": 0, "bytes_per_op": 0},
+    {"name": "FleetTick", "iters": 100, "ns_per_op": 8000000, "allocs_per_op": 9, "bytes_per_op": 512},
+    {"name": "TailTrackerAddP99", "iters": 100, "ns_per_op": 1000, "allocs_per_op": 0, "bytes_per_op": 0}
+  ]
+}`)
+	cases := []struct {
+		name     string
+		engineNs float64
+		trackNs  float64
+		wantFail bool
+	}{
+		{"regression past tolerance fails", 13000, 1000, true},
+		{"regression within tolerance passes", 12000, 1000, false},
+		{"non-gated row may drift freely", 10000, 90000, false},
+		{"improvement passes", 5000, 1000, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			new := writeReport(t, dir, "new.json", `{
+  "schema": "rhythm-bench/v1", "goos": "linux", "goarch": "amd64", "cpus": 1,
+  "benchmarks": [
+    {"name": "EngineTick", "iters": 100, "ns_per_op": `+fmtFloat(tc.engineNs)+`, "allocs_per_op": 0, "bytes_per_op": 0},
+    {"name": "FleetTick", "iters": 100, "ns_per_op": 8000000, "allocs_per_op": 9, "bytes_per_op": 512},
+    {"name": "TailTrackerAddP99", "iters": 100, "ns_per_op": `+fmtFloat(tc.trackNs)+`, "allocs_per_op": 0, "bytes_per_op": 0}
+  ]
+}`)
+			var sb strings.Builder
+			err := compareReports(old, new, true, &sb)
+			if tc.wantFail && err == nil {
+				t.Fatalf("gate passed a >25%% EngineTick regression:\n%s", sb.String())
+			}
+			if !tc.wantFail && err != nil {
+				t.Fatalf("gate failed unexpectedly: %v\n%s", err, sb.String())
+			}
+			if tc.wantFail && !strings.Contains(err.Error(), "EngineTick") {
+				t.Fatalf("gate error does not name the regressed row: %v", err)
+			}
+			// The drift table must print even when the gate trips.
+			if !strings.Contains(sb.String(), "EngineTick") {
+				t.Fatalf("table missing from gated compare:\n%s", sb.String())
+			}
+			// Without gate the same reports always pass.
+			sb.Reset()
+			if err := compareReports(old, new, false, &sb); err != nil {
+				t.Fatalf("ungated compare failed: %v", err)
+			}
+		})
 	}
 }

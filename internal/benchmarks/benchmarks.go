@@ -114,6 +114,62 @@ func EngineTick(b *testing.B) {
 	}
 }
 
+// engineForPasses builds the EngineTick fixture (E-commerce, constant
+// 70%, seed 2020) warmed past the inertia transient, for the per-pass
+// sub-benchmarks that attribute the tick's cost to its SoA passes.
+func engineForPasses(b *testing.B) (*engine.Engine, sim.Time) {
+	e, err := engine.New(engine.Config{
+		Service: workload.ECommerce(),
+		Pattern: loadgen.Constant(0.7),
+		Seed:    2020,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const dt = 100 * time.Millisecond
+	now := sim.Time(0)
+	for i := 0; i < 100; i++ {
+		now = now.Add(dt)
+		e.Step(now, 0.7)
+	}
+	return e, now
+}
+
+// enginePass runs one named SoA pass in isolation over the warmed
+// EngineTick fixture; together the four passes bound where an EngineTick
+// regression lives before anyone reaches for a profiler. Time advances
+// one tick per iteration so the sample pass's tail trackers evict at
+// steady-state occupancy instead of growing without bound.
+func enginePass(b *testing.B, name string) {
+	e, now := engineForPasses(b)
+	const dt = 100 * time.Millisecond
+	if !e.RunPass(name, now, 0.7) {
+		b.Fatalf("unknown engine pass %q", name)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = now.Add(dt)
+		e.RunPass(name, now, 0.7)
+	}
+}
+
+// EngineTickDemand measures the demand gather plus dirty BE re-sync pass.
+func EngineTickDemand(b *testing.B) { enginePass(b, "demand") }
+
+// EngineTickInflation measures the pressure map and inertia-smoothed
+// inflation pass.
+func EngineTickInflation(b *testing.B) { enginePass(b, "inflation") }
+
+// EngineTickSojourn measures the sojourn-cache pass; at constant load the
+// key never changes, so this is the steady-state (cache-hit) cost.
+func EngineTickSojourn(b *testing.B) { enginePass(b, "sojourn") }
+
+// EngineTickSample measures the sampling pass: the SamplesPerTick×stages
+// lognormal draw matrix, the plan combine, and the tail bulk insert —
+// the dominant share of EngineTick.
+func EngineTickSample(b *testing.B) { enginePass(b, "sample") }
+
 // FleetTick measures one epoch of a 100-machine fleet (25 E-commerce
 // replicas under the uniform Heracles policy, constant 60% load): 100
 // engines advancing one 2 s control period each plus the shared-queue

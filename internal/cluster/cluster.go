@@ -10,10 +10,7 @@
 // (modeled as 20 CAT ways), and 64 GB of DRAM per socket.
 package cluster
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // Resource identifies one of the shared resources the controller manages.
 type Resource int
@@ -140,10 +137,45 @@ type Alloc struct {
 // the capacity invariants: the sum of granted cores, ways, memory and
 // bandwidth never exceeds the spec. Machine is not safe for concurrent use;
 // the simulation is single-threaded.
+//
+// Alongside the ledger map the machine maintains its owners in the sorted
+// order every reader wants (LC first, then by name): free-capacity checks
+// walk a flat slice instead of the map, re-granting an existing owner
+// updates its Alloc in place, and the subcontrollers iterate BE owners
+// without the per-call sort the old BEOwners paid. That keeps control
+// ticks allocation-free — the fleet layer runs ~100 of them per epoch.
 type Machine struct {
-	Name   string
-	Spec   MachineSpec
+	Name string
+	Spec MachineSpec
+
 	allocs map[Owner]*Alloc
+	// owners and ownerAllocs mirror allocs in sorted order (LC owners
+	// first, then BE, each by name); lcCount is the LC prefix length.
+	owners      []Owner
+	ownerAllocs []*Alloc
+	lcCount     int
+
+	// overErr is the reused oversubscription error. Failed grants are how
+	// the isolation agents probe for headroom every control tick, so the
+	// failure path must not allocate; the message is formatted lazily in
+	// Error(), and the value is valid until the machine's next failed
+	// Grant.
+	overErr overcommitError
+}
+
+// overcommitError reports a Grant that would violate a capacity
+// invariant. It formats its message on demand so the headroom-probe hot
+// path (grant, check, roll back) never touches the allocator.
+type overcommitError struct {
+	m *Machine
+	o Owner
+	u Alloc
+}
+
+func (e *overcommitError) Error() string {
+	return fmt.Sprintf("cluster: grant to %s/%s oversubscribes %s (cores %d/%d, ways %d/%d, mem %.1f/%.1f GB, net %.1f/%.1f Gbps)",
+		e.o.Kind, e.o.Name, e.m.Name, e.u.Cores, e.m.Spec.Cores, e.u.LLCWays, e.m.Spec.LLCWays,
+		e.u.MemoryGB, e.m.Spec.MemoryGB, e.u.NetGbps, e.m.Spec.NetGbps)
 }
 
 // NewMachine returns an empty machine with the given spec.
@@ -151,31 +183,68 @@ func NewMachine(name string, spec MachineSpec) *Machine {
 	return &Machine{Name: name, Spec: spec, allocs: make(map[Owner]*Alloc)}
 }
 
-// Alloc returns the current grant for owner, or nil if none.
+// Alloc returns the current grant for owner, or nil if none. The pointed-to
+// value is updated in place when the owner is re-granted, so a held pointer
+// always reads the owner's current grant (and must be re-fetched only after
+// a Release).
 func (m *Machine) Alloc(o Owner) *Alloc {
 	return m.allocs[o]
 }
 
-// Owners returns all owners with grants, sorted for determinism (LC first,
-// then by name).
-func (m *Machine) Owners() []Owner {
-	out := make([]Owner, 0, len(m.allocs))
-	for o := range m.allocs {
-		out = append(out, o)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Kind != out[j].Kind {
-			return out[i].Kind < out[j].Kind
+// ownerIdx returns the sorted position of o in owners and whether it is
+// present (binary search on the LC-first, then-by-name order).
+func (m *Machine) ownerIdx(o Owner) (int, bool) {
+	lo, hi := 0, len(m.owners)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		c := m.owners[mid]
+		if c.Kind < o.Kind || (c.Kind == o.Kind && c.Name < o.Name) {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
-		return out[i].Name < out[j].Name
-	})
-	return out
+	}
+	return lo, lo < len(m.owners) && m.owners[lo] == o
 }
 
-// used sums all grants.
+// insertOwner adds o at its sorted position; the caller guarantees absence.
+func (m *Machine) insertOwner(o Owner, a *Alloc) {
+	i, _ := m.ownerIdx(o)
+	m.owners = append(m.owners, Owner{})
+	copy(m.owners[i+1:], m.owners[i:])
+	m.owners[i] = o
+	m.ownerAllocs = append(m.ownerAllocs, nil)
+	copy(m.ownerAllocs[i+1:], m.ownerAllocs[i:])
+	m.ownerAllocs[i] = a
+	if o.Kind == OwnerLC {
+		m.lcCount++
+	}
+}
+
+// removeOwner drops o from the sorted mirrors if present.
+func (m *Machine) removeOwner(o Owner) {
+	i, ok := m.ownerIdx(o)
+	if !ok {
+		return
+	}
+	m.owners = append(m.owners[:i], m.owners[i+1:]...)
+	m.ownerAllocs = append(m.ownerAllocs[:i], m.ownerAllocs[i+1:]...)
+	if o.Kind == OwnerLC {
+		m.lcCount--
+	}
+}
+
+// Owners returns a copy of all owners with grants, sorted for determinism
+// (LC first, then by name).
+func (m *Machine) Owners() []Owner {
+	return append([]Owner(nil), m.owners...)
+}
+
+// used sums all grants, walking the sorted mirror so the float sums are
+// evaluated in a deterministic order.
 func (m *Machine) used() Alloc {
 	var u Alloc
-	for _, a := range m.allocs {
+	for _, a := range m.ownerAllocs {
 		u.Cores += a.Cores
 		u.LLCWays += a.LLCWays
 		u.MemoryGB += a.MemoryGB
@@ -208,55 +277,80 @@ func (m *Machine) Grant(o Owner, a Alloc) error {
 		return fmt.Errorf("cluster: frequency %.2f GHz outside [%.2f, %.2f]",
 			a.FreqGHz, m.Spec.MinGHz, m.Spec.MaxGHz)
 	}
-	prev, had := m.allocs[o]
-	m.allocs[o] = &a
+	if prev, had := m.allocs[o]; had {
+		// Re-grant: update the existing Alloc in place so no allocation
+		// happens and held pointers keep reading the current grant.
+		old := *prev
+		*prev = a
+		u := m.used()
+		if u.Cores > m.Spec.Cores || u.LLCWays > m.Spec.LLCWays ||
+			u.MemoryGB > m.Spec.MemoryGB+1e-9 || u.NetGbps > m.Spec.NetGbps+1e-9 {
+			*prev = old
+			return m.oversubscribed(o, u)
+		}
+		return nil
+	}
+	// A fresh heap Alloc only on the new-owner path; taking &a directly
+	// would force a on the re-grant hot path onto the heap too.
+	na := new(Alloc)
+	*na = a
+	m.allocs[o] = na
+	m.insertOwner(o, na)
 	u := m.used()
 	if u.Cores > m.Spec.Cores || u.LLCWays > m.Spec.LLCWays ||
 		u.MemoryGB > m.Spec.MemoryGB+1e-9 || u.NetGbps > m.Spec.NetGbps+1e-9 {
-		if had {
-			m.allocs[o] = prev
-		} else {
-			delete(m.allocs, o)
-		}
-		return fmt.Errorf("cluster: grant to %s/%s oversubscribes %s (cores %d/%d, ways %d/%d, mem %.1f/%.1f GB, net %.1f/%.1f Gbps)",
-			o.Kind, o.Name, m.Name, u.Cores, m.Spec.Cores, u.LLCWays, m.Spec.LLCWays,
-			u.MemoryGB, m.Spec.MemoryGB, u.NetGbps, m.Spec.NetGbps)
+		delete(m.allocs, o)
+		m.removeOwner(o)
+		return m.oversubscribed(o, u)
 	}
 	return nil
+}
+
+// oversubscribed fills the machine's reused invariant-violation error for
+// Grant. The returned value is overwritten by the next failed grant;
+// callers that retain errors must capture Error() first (none in this
+// repository do — the actuators treat it as a headroom boolean).
+func (m *Machine) oversubscribed(o Owner, u Alloc) error {
+	m.overErr = overcommitError{m: m, o: o, u: u}
+	return &m.overErr
 }
 
 // Release removes owner's allocation. Releasing an absent owner is a no-op.
-func (m *Machine) Release(o Owner) { delete(m.allocs, o) }
+func (m *Machine) Release(o Owner) {
+	if _, ok := m.allocs[o]; !ok {
+		return
+	}
+	delete(m.allocs, o)
+	m.removeOwner(o)
+}
 
 // LCAlloc returns the (single) LC allocation on the machine, or nil.
 func (m *Machine) LCAlloc() *Alloc {
-	for o, a := range m.allocs {
-		if o.Kind == OwnerLC {
-			return a
-		}
+	if m.lcCount == 0 {
+		return nil
 	}
-	return nil
+	return m.ownerAllocs[0]
 }
 
-// BEOwners returns the BE owners on the machine, sorted by name.
+// BEOwners returns a copy of the BE owners on the machine, sorted by name.
 func (m *Machine) BEOwners() []Owner {
-	var out []Owner
-	for o := range m.allocs {
-		if o.Kind == OwnerBE {
-			out = append(out, o)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
+	return append([]Owner(nil), m.BEOwnersView()...)
+}
+
+// BEOwnersView returns the BE owners sorted by name as a read-only view of
+// the machine's internal mirror: valid until the next Grant of a new owner
+// or Release, and never to be mutated by the caller. Re-granting an
+// existing owner (the subcontrollers' step operations) does not disturb
+// it, so iterating the view while adjusting grants is safe — the
+// allocation-free path the per-control-tick actuators use.
+func (m *Machine) BEOwnersView() []Owner {
+	return m.owners[m.lcCount:]
 }
 
 // BETotals sums all BE grants on the machine.
 func (m *Machine) BETotals() Alloc {
 	var u Alloc
-	for o, a := range m.allocs {
-		if o.Kind != OwnerBE {
-			continue
-		}
+	for _, a := range m.ownerAllocs[m.lcCount:] {
 		u.Cores += a.Cores
 		u.LLCWays += a.LLCWays
 		u.MemoryGB += a.MemoryGB

@@ -9,6 +9,7 @@ import (
 	"rhythm/internal/controller"
 	"rhythm/internal/loadgen"
 	"rhythm/internal/obs"
+	"rhythm/internal/sim"
 	"rhythm/internal/workload"
 )
 
@@ -229,6 +230,133 @@ type oversubError struct {
 
 func (e *oversubError) Error() string {
 	return "machine " + e.machine + " oversubscribed"
+}
+
+// assertSoARowSynced checks one pod's SoA row against a fresh derivation
+// from the AoS view: the dirty flag cleared and every cached BE aggregate
+// equal to what refreshBE would compute right now.
+func assertSoARowSynced(t *testing.T, e *Engine, p *podRuntime) {
+	t.Helper()
+	i := p.idx
+	if e.soa.beDirty[i] {
+		t.Fatal("row still dirty after a tick")
+	}
+	if got, want := e.soa.beDemand[i], p.beDemand(); got != want {
+		t.Errorf("soa.beDemand = %v, AoS derives %v", got, want)
+	}
+	if got, want := e.soa.beFreq[i], p.agent.BEFrequency(); got != want {
+		t.Errorf("soa.beFreq = %v, AoS derives %v", got, want)
+	}
+	if got, want := e.soa.beCores[i], p.runningBEAlloc().Cores; got != want {
+		t.Errorf("soa.beCores = %d, AoS derives %d", got, want)
+	}
+	if len(p.instCache) != len(p.instances) {
+		t.Fatalf("instCache holds %d entries, instances %d", len(p.instCache), len(p.instances))
+	}
+	for j, in := range p.instances {
+		c := p.instCache[j]
+		if c.in != in {
+			t.Errorf("instCache[%d] caches %q, instances[%d] is %q", j, c.in.ID, j, in.ID)
+		}
+		live := p.machine.Alloc(cluster.Owner{Kind: cluster.OwnerBE, Name: in.ID})
+		if c.alloc != live {
+			t.Errorf("instCache[%d].alloc = %p, ledger holds %p", j, c.alloc, live)
+		}
+	}
+}
+
+// TestSoAResyncAfterMutations is the satellite coherence table: every
+// cold-path mutation of the AoS pod view — control actions through apply,
+// fault crashes, external admission, eviction draining — must mark the
+// SoA row dirty so the next tick rebuilds the cached BE aggregates to
+// exactly what the mutated view derives.
+func TestSoAResyncAfterMutations(t *testing.T) {
+	const at = sim20s
+
+	applyCase := func(act controller.Action, prep func(*Engine, *podRuntime)) func(t *testing.T) {
+		return func(t *testing.T) {
+			e, p, _ := newApplyFixture(t)
+			// Mid-run: a few ticks so the row is warm and clean.
+			now := sim.Time(0)
+			for k := 0; k < 3; k++ {
+				now = now.Add(e.cfg.TickDt)
+				e.Step(now, 0.3)
+			}
+			if e.soa.beDirty[p.idx] {
+				t.Fatal("setup: row dirty before mutation")
+			}
+			if prep != nil {
+				prep(e, p)
+			}
+			e.apply(p, act, at, 0.3, 0.2)
+			if !e.soa.beDirty[p.idx] {
+				t.Fatal("apply did not mark the row dirty")
+			}
+			now = now.Add(e.cfg.TickDt)
+			e.Step(now, 0.3)
+			assertSoARowSynced(t, e, p)
+		}
+	}
+
+	t.Run("apply StopBE", applyCase(controller.StopBE, nil))
+	t.Run("apply SuspendBE", applyCase(controller.SuspendBE, nil))
+	t.Run("apply AllowBEGrowth", applyCase(controller.AllowBEGrowth, nil))
+	t.Run("apply CutBE after growth", applyCase(controller.CutBE, func(e *Engine, p *podRuntime) {
+		if !p.agent.GrowBE(p.instances[0].ID) {
+			t.Fatal("setup: GrowBE failed with free headroom")
+		}
+	}))
+	t.Run("apply resume from suspended", applyCase(controller.DisallowBEGrowth, func(e *Engine, p *podRuntime) {
+		e.apply(p, controller.SuspendBE, at, 0.3, 0.2)
+	}))
+
+	t.Run("crashBE", func(t *testing.T) {
+		e, p, _ := newApplyFixture(t)
+		now := sim.Time(0)
+		for k := 0; k < 3; k++ {
+			now = now.Add(e.cfg.TickDt)
+			e.Step(now, 0.3)
+		}
+		e.crashBE(p, now)
+		if !e.soa.beDirty[p.idx] {
+			t.Fatal("crashBE did not mark the row dirty")
+		}
+		if len(p.instances) != 0 {
+			t.Fatalf("crash left %d instances", len(p.instances))
+		}
+		now = now.Add(e.cfg.TickDt)
+		e.Step(now, 0.3)
+		assertSoARowSynced(t, e, p)
+	})
+
+	t.Run("AdmitBE and TakeEvicted", func(t *testing.T) {
+		e := newExternalEngine(t, true)
+		p := e.pods[0]
+		now := sim.Time(0)
+		for k := 0; k < 3; k++ {
+			now = now.Add(e.cfg.TickDt)
+			e.Step(now, 0.3)
+		}
+		if !e.AdmitBE(p.comp.Name, bejobs.Wordcount, "be-sync-1") {
+			t.Fatal("admission onto an empty machine should succeed")
+		}
+		if !e.soa.beDirty[p.idx] {
+			t.Fatal("AdmitBE did not mark the row dirty")
+		}
+		now = now.Add(e.cfg.TickDt)
+		e.Step(now, 0.3)
+		assertSoARowSynced(t, e, p)
+
+		// Evict and drain: the view mutation happens at apply time; the
+		// drain must not disturb the already-resynced row.
+		e.apply(p, controller.StopBE, now, 0.3, -0.1)
+		now = now.Add(e.cfg.TickDt)
+		e.Step(now, 0.3)
+		if ev := e.TakeEvicted(); len(ev) != 1 {
+			t.Fatalf("TakeEvicted = %v, want the one eviction", ev)
+		}
+		assertSoARowSynced(t, e, p)
+	})
 }
 
 // TestControlTickEmitsDecisionPerPod pins the acceptance property of the

@@ -320,8 +320,14 @@ func (r *RunStats) TotalCrashes() int {
 	return n
 }
 
-// podRuntime is the mutable per-machine state.
+// podRuntime is the cold-path AoS view of one machine: topology, BE
+// instance list, controller bookkeeping and instruments. Everything the
+// tick reads every 100 ms lives in the engine's soaState block instead
+// (indexed by idx); the control-plane methods (apply, launch, resume,
+// crashBE, AdmitBE) mutate this view and mark the pod's SoA row dirty so
+// the next tick re-syncs the derived caches.
 type podRuntime struct {
+	idx       int // row in Engine.soa
 	comp      *workload.Component
 	machine   *cluster.Machine
 	agent     *isolation.Agent
@@ -336,12 +342,15 @@ type podRuntime struct {
 	// first control tick).
 	lastAction controller.Action
 
-	cpu     metrics.Usage
-	mbw     metrics.Usage
-	bet     metrics.Usage
-	emu     metrics.Usage
 	rng     *sim.RNG
 	growSeq int
+
+	// instCache mirrors instances with each one's current grant resolved:
+	// the BE-progress pass reads it instead of doing a per-instance
+	// machine.Alloc map lookup per tick. Rebuilt whenever the pod's SoA
+	// row is dirty — grants and instance states only change at control,
+	// admission, crash and eviction events, all of which mark the row.
+	instCache []beInst
 
 	// Per-pod calibration instruments (nil without a bus; every use is
 	// nil-safe): the analytic sojourn p99 the current operating point
@@ -349,34 +358,125 @@ type podRuntime struct {
 	obsSojournP99  *obs.Histogram
 	obsCompletions *obs.Counter
 
-	// Smoothed interference state (Config.InertiaTau).
-	smoothedInflate float64
-	smoothedCV      float64
-
 	// degraded counts consecutive control periods decided blind (NaN or
 	// stale p99 under a measurement-dropout fault); it drives the
 	// conservative DisallowBEGrowth -> CutBE escalation and resets to 0
 	// the moment a clean measurement returns.
 	degraded int
+}
 
-	// Cached sojourn distribution for the current operating point. The
-	// engine recomputes Station.At — Erlang-C plus a lognormal fit — only
-	// when the (qps, inflate, cvInflate, muSkew, sigmaSkew) tuple
-	// changes; At is pure, so an unchanged tuple reuses the identical
-	// distribution. Constant-load runs (every profiling sweep level) pay
-	// Erlang-C once per pod. The two skew entries are the profile-drift
-	// fault multipliers and are constant 1 without a fault schedule, so
-	// the cache behaves exactly as the original 3-tuple then.
-	sojourn    queueing.Sojourn
-	sojournKey [5]float64
-	sojournOK  bool
-	// Log-space lognormal parameters of sojourn, denormalized here so the
-	// per-sample hot path (Engine.sampleFn) is a bare
-	// exp(mu + sigma*normal) with no struct copy or method dispatch.
-	// Bit-identical to sojourn.Sample by construction: Lognormal.Sample
-	// is exactly that expression over these two fields.
-	sjMu    float64
-	sjSigma float64
+// beInst is one entry of podRuntime.instCache: an instance plus its
+// resolved allocation (nil when the owner holds no grant, exactly the
+// case the scalar loop skipped) and the LLC working set its current core
+// count implies.
+type beInst struct {
+	in     *bejobs.Instance
+	alloc  *cluster.Alloc
+	wanted float64 // PerCore[ResLLC] * cores, the cache-satisfaction denominator
+}
+
+// soaState is the struct-of-arrays hot block of the tick: one row per
+// pod, every field a flat slice the chunked passes stream over. The
+// control plane never touches it directly — apply/launch/resume/crashBE/
+// AdmitBE mutate the podRuntime AoS view and set beDirty, and the demand
+// pass re-syncs the derived BE caches (beDemand, beFreq, beCores,
+// instCache) before anything reads them. See DESIGN.md §14.
+type soaState struct {
+	// Per-tick demand and pressure (recomputed every tick).
+	lcDemand []cluster.Vector
+	press    []cluster.Vector
+
+	// BE aggregates, valid while beDirty is false: the machine's summed
+	// BE demand vector, the frequency subcontroller's current BE clock,
+	// and the running instances' total cores.
+	beDemand []cluster.Vector
+	beFreq   []float64
+	beCores  []int
+	beDirty  []bool
+
+	// Smoothed interference state (Config.InertiaTau); initialized to 1,
+	// the lazy-init value the scalar smooth used.
+	inflate []float64
+	cvInfl  []float64
+
+	// Cached sojourn distribution per operating point. The sojourn pass
+	// recomputes Station.At — Erlang-C plus a lognormal fit — only when
+	// the (qps, inflate, cvInflate, muSkew, sigmaSkew) tuple changes; At
+	// is pure, so an unchanged tuple reuses the identical distribution.
+	// Constant-load runs (every profiling sweep level) pay Erlang-C once
+	// per pod. The two skew entries are the profile-drift fault
+	// multipliers and are constant 1 without a fault schedule. sjMu and
+	// sjSigma denormalize the log-space parameters so a sample is a bare
+	// exp(mu + sigma*normal) — bit-identical to sojourn.Sample, which is
+	// exactly that expression over these two fields.
+	sojourn []queueing.Sojourn
+	sjKey   [][5]float64
+	sjOK    []bool
+	sjMu    []float64
+	sjSigma []float64
+
+	// Utilization accumulators.
+	cpu []metrics.Usage
+	mbw []metrics.Usage
+	bet []metrics.Usage
+	emu []metrics.Usage
+
+	// Fault scratch, filled by the fault pass each tick; untouched (and
+	// unread) when Config.Faults is nil.
+	stormMul []float64
+	freqCap  []float64
+	muSkew   []float64
+	sigSkew  []float64
+
+	// Sampling-pass layout: the call graph flattened to stages in
+	// traversal order (stagePod maps stage -> pod row), per-stage
+	// lognormal parameters gathered per tick, the SamplesPerTick×stages
+	// draw matrix (draw-major stage-minor, the frozen RNG order), and the
+	// per-draw end-to-end latencies.
+	stagePod []int
+	stageMu  []float64
+	stageSig []float64
+	vals     []float64
+	lats     []float64
+	plan     *samplePlan
+
+	// Tick constants, precomputed once in New.
+	alpha    float64  // EMA coefficient 1-exp(-dt/tau); unused when tau < 0
+	dtHours  float64  // TickDt in hours, the Advance timebase
+	warmupAt sim.Time // end of Config.Warmup
+}
+
+// samplePlan mirrors workload.Node with the component name resolved to a
+// stage index: eval replays Node.Latency's exact recursion — including
+// its right-nested chain association and strict > parallel max — over a
+// row of the draw matrix. The association matters: a flat left-to-right
+// sum over the same addends rounds differently, so the combine must copy
+// the walk, not just its multiset of terms.
+type samplePlan struct {
+	stage    int
+	parallel bool
+	children []*samplePlan
+}
+
+// eval is Node.Latency with sojourn(comp) replaced by vals[stage].
+func (n *samplePlan) eval(vals []float64) float64 {
+	t := vals[n.stage]
+	if len(n.children) == 0 {
+		return t
+	}
+	if n.parallel {
+		worst := 0.0
+		for _, ch := range n.children {
+			if l := ch.eval(vals); l > worst {
+				worst = l
+			}
+		}
+		return t + worst
+	}
+	for _, ch := range n.children {
+		t += ch.eval(vals)
+	}
+	return t
 }
 
 // Engine executes one configured run.
@@ -384,9 +484,16 @@ type Engine struct {
 	cfg       Config
 	pods      []*podRuntime
 	podByName map[string]*podRuntime
+	soa       soaState
 	tail      *metrics.TailTracker
 	rng       *sim.RNG
 	stats     *RunStats
+
+	// refTick switches tick to the pre-SoA scalar reference
+	// implementation (tickReference). Tests set it to pin the SoA passes
+	// bitwise-equal to the original single-loop tick; it is never set in
+	// production paths.
+	refTick bool
 
 	// sampleFn is the per-component sampling callback handed to
 	// Graph.Latency; it is built once in New so the per-tick sampling
@@ -507,23 +614,85 @@ func New(cfg Config) (*Engine, error) {
 		e.pods = append(e.pods, p)
 	}
 	e.podByName = make(map[string]*podRuntime, len(e.pods))
-	for _, p := range e.pods {
+	for i, p := range e.pods {
+		p.idx = i
 		e.podByName[p.comp.Name] = p
 	}
-	// One closure for the whole run: the graph walk draws from the pod's
-	// cached sojourn distribution in traversal order (the RNG stream
-	// consumption order is part of the determinism contract, DESIGN.md §7)
-	// and appends sojourn samples directly instead of staging them in a
-	// per-sample map.
+	e.initSoA()
+	// One closure for the whole run: the scalar reference walk draws from
+	// the pod's cached sojourn distribution in traversal order (the RNG
+	// stream consumption order is part of the determinism contract,
+	// DESIGN.md §7) and appends sojourn samples directly instead of
+	// staging them in a per-sample map. The SoA sampling pass consumes
+	// the identical stream through sim.LognormalDraws instead.
 	e.sampleFn = func(c string) float64 {
-		p := e.podByName[c]
-		v := math.Exp(p.sjMu + p.sjSigma*e.rng.NormFloat64())
+		i := e.podByName[c].idx
+		v := math.Exp(e.soa.sjMu[i] + e.soa.sjSigma[i]*e.rng.NormFloat64())
 		if e.cfg.CollectSamples {
-			p.stats.SojournSamples = append(p.stats.SojournSamples, v)
+			e.pods[i].stats.SojournSamples = append(e.pods[i].stats.SojournSamples, v)
 		}
 		return v
 	}
 	return e, nil
+}
+
+// initSoA sizes the struct-of-arrays block, seeds the smoothing state,
+// flattens the call graph into the sampling plan and precomputes the tick
+// constants. Every pod row starts dirty so the first tick syncs the BE
+// caches.
+func (e *Engine) initSoA() {
+	n := len(e.pods)
+	s := &e.soa
+	s.lcDemand = make([]cluster.Vector, n)
+	s.press = make([]cluster.Vector, n)
+	s.beDemand = make([]cluster.Vector, n)
+	s.beFreq = make([]float64, n)
+	s.beCores = make([]int, n)
+	s.beDirty = make([]bool, n)
+	s.inflate = make([]float64, n)
+	s.cvInfl = make([]float64, n)
+	s.sojourn = make([]queueing.Sojourn, n)
+	s.sjKey = make([][5]float64, n)
+	s.sjOK = make([]bool, n)
+	s.sjMu = make([]float64, n)
+	s.sjSigma = make([]float64, n)
+	s.cpu = make([]metrics.Usage, n)
+	s.mbw = make([]metrics.Usage, n)
+	s.bet = make([]metrics.Usage, n)
+	s.emu = make([]metrics.Usage, n)
+	s.stormMul = make([]float64, n)
+	s.freqCap = make([]float64, n)
+	s.muSkew = make([]float64, n)
+	s.sigSkew = make([]float64, n)
+	for i := range s.beDirty {
+		s.beDirty[i] = true
+		// The scalar smooth lazily initialized its state to (1, 1) on
+		// first use; the SoA rows start there outright — same first EMA
+		// step, no per-tick zero check.
+		s.inflate[i], s.cvInfl[i] = 1, 1
+	}
+	s.plan = e.buildPlan(e.cfg.Service.Graph)
+	stages := len(s.stagePod)
+	s.stageMu = make([]float64, stages)
+	s.stageSig = make([]float64, stages)
+	s.vals = make([]float64, e.cfg.SamplesPerTick*stages)
+	s.lats = make([]float64, e.cfg.SamplesPerTick)
+	s.alpha = 1 - math.Exp(-e.cfg.TickDt.Seconds()/e.cfg.InertiaTau.Seconds())
+	s.dtHours = e.cfg.TickDt.Hours()
+	s.warmupAt = sim.Time(0).Add(e.cfg.Warmup)
+}
+
+// buildPlan flattens the call graph in Latency's traversal order (node
+// first, then children left to right — the order sampleFn is called in),
+// assigning each node the next stage index and recording which pod row it
+// samples.
+func (e *Engine) buildPlan(n *workload.Node) *samplePlan {
+	p := &samplePlan{stage: len(e.soa.stagePod), parallel: n.Parallel}
+	e.soa.stagePod = append(e.soa.stagePod, e.podByName[n.Comp].idx)
+	for _, ch := range n.Children {
+		p.children = append(p.children, e.buildPlan(ch))
+	}
+	return p
 }
 
 // beOps are the BE lifecycle transitions the engine reports on the bus.
@@ -630,98 +799,221 @@ func (e *Engine) Now() sim.Time { return e.cursor }
 // grid and interleaves control decisions.
 func (e *Engine) Step(now sim.Time, load float64) { e.tick(now, load) }
 
-// tick advances the world by one TickDt at the given load fraction.
+// tick advances the world by one TickDt at the given load fraction. The
+// default implementation is the SoA pass sequence; refTick selects the
+// pre-SoA scalar reference the differential tests pin it against. Both
+// produce bit-identical state: the per-pod arithmetic is the same
+// expressions in the same order, no pass consumes engine RNG except the
+// sampling step, and the sampling step draws the identical frozen stream
+// (draw-major, stage-minor — DESIGN.md §9) through sim.LognormalDraws.
 func (e *Engine) tick(now sim.Time, load float64) {
+	if e.refTick {
+		e.tickReference(now, load)
+		return
+	}
 	dt := e.cfg.TickDt
 	qps := load * e.cfg.Service.MaxLoadQPS
-	measuring := now >= sim.Time(0).Add(e.cfg.Warmup)
+	measuring := now >= e.soa.warmupAt
 
-	// Per-pod sojourn distributions under current interference, cached
-	// per operating point (see podRuntime.sojourn).
-	for _, p := range e.pods {
-		if e.cfg.Faults != nil && e.cfg.Faults.CrashTriggered(e.lastFaultScan, now, p.comp.Name) {
+	// Fault hooks run first as sparse edits (crashes mutate the AoS view
+	// and mark rows dirty; storm/cap/drift magnitudes land in scratch
+	// rows), so the passes themselves stay branch-light. Pods are
+	// independent machines, so hoisting the per-pod crash check ahead of
+	// the arithmetic reorders nothing observable: within a tick the only
+	// scope events before the end-of-tick Tick event are the crash BE
+	// events, and they stay in pod order.
+	if e.cfg.Faults != nil {
+		e.passFaults(now)
+	}
+	e.passDemand(load)
+	e.passPressure()
+	e.passInflation()
+	e.passSojourn(qps)
+	e.passUtilization(dt, measuring)
+	e.passBEProgress(load, dt, measuring)
+	e.passSample(now)
+	e.finishTick(now, dt, load, qps, measuring)
+}
+
+// passFaults applies crash triggers to the AoS view and gathers the
+// tick's storm/frequency-cap/drift magnitudes into the fault scratch
+// rows. Only called with a fault schedule configured.
+func (e *Engine) passFaults(now sim.Time) {
+	f := e.cfg.Faults
+	s := &e.soa
+	for i, p := range e.pods {
+		if f.CrashTriggered(e.lastFaultScan, now, p.comp.Name) {
 			e.crashBE(p, now)
 		}
-		lcDemand := p.comp.DemandAt(load)
-		beDemand := p.beDemand()
-		press := e.cfg.Model.Pressure(p.machine.Spec, lcDemand, beDemand)
-		muSkew, sigmaSkew := 1.0, 1.0
-		freqCap := 0.0
-		if e.cfg.Faults != nil {
-			// Interference storms multiply the pressure vector before
-			// the inflation map, so a storm behaves exactly like that
-			// much more BE demand hammering the machine.
-			if m := e.cfg.Faults.InterferenceMul(now, p.comp.Name); m != 1 {
+		s.stormMul[i] = f.InterferenceMul(now, p.comp.Name)
+		s.freqCap[i] = f.FreqCapGHz(now, p.comp.Name)
+		s.muSkew[i], s.sigSkew[i] = f.Drift(now, p.comp.Name)
+	}
+}
+
+// passDemand gathers per-pod LC demand at the offered load and re-syncs
+// the BE caches of any row marked dirty since the last tick.
+func (e *Engine) passDemand(load float64) {
+	s := &e.soa
+	for i, p := range e.pods {
+		s.lcDemand[i] = p.comp.DemandAt(load)
+		if s.beDirty[i] {
+			e.refreshBE(i, p)
+		}
+	}
+}
+
+// refreshBE re-derives one pod's BE row from the AoS view: the summed
+// demand vector, the frequency subcontroller's BE clock, the running
+// cores, and the per-instance allocation cache the BE-progress pass
+// iterates. This is the single AoS -> SoA sync point; every mutation site
+// (apply, launch, resume, crashBE, AdmitBE) marks the row dirty.
+func (e *Engine) refreshBE(i int, p *podRuntime) {
+	s := &e.soa
+	s.beDemand[i] = p.beDemand()
+	s.beFreq[i] = p.agent.BEFrequency()
+	s.beCores[i] = p.runningBEAlloc().Cores
+	p.instCache = p.instCache[:0]
+	for _, in := range p.instances {
+		al := p.machine.Alloc(cluster.Owner{Kind: cluster.OwnerBE, Name: in.ID})
+		var wanted float64
+		if al != nil {
+			wanted = in.Spec.PerCore[cluster.ResLLC] * float64(al.Cores)
+		}
+		p.instCache = append(p.instCache, beInst{in: in, alloc: al, wanted: wanted})
+	}
+	s.beDirty[i] = false
+}
+
+// markDirty flags a pod's SoA row for re-sync on the next tick.
+func (e *Engine) markDirty(p *podRuntime) { e.soa.beDirty[p.idx] = true }
+
+// passPressure maps demand to the interference pressure vector, with
+// storm faults multiplying the pressure before the inflation map — a
+// storm behaves exactly like that much more BE demand hammering the
+// machine.
+func (e *Engine) passPressure() {
+	s := &e.soa
+	faultsOn := e.cfg.Faults != nil
+	for i, p := range e.pods {
+		press := e.cfg.Model.Pressure(p.machine.Spec, s.lcDemand[i], s.beDemand[i])
+		if faultsOn {
+			if m := s.stormMul[i]; m != 1 {
 				press = press.Scale(m)
 			}
-			freqCap = e.cfg.Faults.FreqCapGHz(now, p.comp.Name)
-			muSkew, sigmaSkew = e.cfg.Faults.Drift(now, p.comp.Name)
 		}
-		inflate, cvInflate := e.cfg.Model.Inflation(p.comp, press)
-		if freqCap > 0 && freqCap < p.machine.Spec.MaxGHz {
-			// A machine slowdown stretches LC service time like any
-			// DVFS step-down would; it rides through the same inertia
-			// as interference, since thermal throttling is not a step
-			// function either.
-			inflate *= interference.FreqInflation(p.comp, freqCap, p.machine.Spec.MaxGHz)
-		}
-		inflate, cvInflate = p.smooth(inflate, cvInflate, dt, e.cfg.InertiaTau)
-		if key := [5]float64{qps, inflate, cvInflate, muSkew, sigmaSkew}; !p.sojournOK || key != p.sojournKey {
-			p.sojourn = p.comp.Station.At(qps, inflate, cvInflate, 1)
-			p.sjMu, p.sjSigma = p.sojourn.LogParams()
-			// Profile drift skews the fitted lognormal away from what
-			// was profiled: the mean by muSkew (an additive log-space
-			// shift), the log-space sigma by sigmaSkew.
-			if muSkew != 1 {
-				p.sjMu += math.Log(muSkew)
-			}
-			if sigmaSkew != 1 {
-				p.sjSigma *= sigmaSkew
-			}
-			p.sojournKey, p.sojournOK = key, true
-		}
-		sj := p.sojourn
+		s.press[i] = press
+	}
+}
 
-		// Utilization accounting. LC cores are busy in proportion to
-		// station utilization; BE cores are fully busy while running.
-		beAlloc := p.runningBEAlloc()
-		lcBusy := float64(p.comp.Cores) * sj.Utilization
-		cpuUtil := (lcBusy + float64(beAlloc.Cores)) / float64(p.machine.Spec.Cores)
-		servedBW := lcDemand[cluster.ResMemBW] + minf(beDemand[cluster.ResMemBW], p.machine.Spec.MemBWGBs-lcDemand[cluster.ResMemBW])
+// passInflation maps pressure to the latency inflation targets (a
+// machine-slowdown frequency cap stretches LC service time like any DVFS
+// step-down would) and applies the first-order inertia of
+// Config.InertiaTau with the precomputed EMA coefficient — the same
+// alpha the scalar smooth recomputed per call, so the same bits.
+func (e *Engine) passInflation() {
+	s := &e.soa
+	faultsOn := e.cfg.Faults != nil
+	bypass := e.cfg.InertiaTau < 0
+	for i, p := range e.pods {
+		inflate, cvInflate := e.cfg.Model.Inflation(p.comp, s.press[i])
+		if faultsOn {
+			if fc := s.freqCap[i]; fc > 0 && fc < p.machine.Spec.MaxGHz {
+				inflate *= interference.FreqInflation(p.comp, fc, p.machine.Spec.MaxGHz)
+			}
+		}
+		if bypass {
+			s.inflate[i], s.cvInfl[i] = inflate, cvInflate
+			continue
+		}
+		s.inflate[i] += (inflate - s.inflate[i]) * s.alpha
+		s.cvInfl[i] += (cvInflate - s.cvInfl[i]) * s.alpha
+	}
+}
+
+// passSojourn refreshes the cached sojourn distribution of every pod
+// whose (qps, inflate, cvInflate, muSkew, sigmaSkew) key changed.
+func (e *Engine) passSojourn(qps float64) {
+	s := &e.soa
+	faultsOn := e.cfg.Faults != nil
+	for i, p := range e.pods {
+		muSkew, sigmaSkew := 1.0, 1.0
+		if faultsOn {
+			muSkew, sigmaSkew = s.muSkew[i], s.sigSkew[i]
+		}
+		key := [5]float64{qps, s.inflate[i], s.cvInfl[i], muSkew, sigmaSkew}
+		if s.sjOK[i] && key == s.sjKey[i] {
+			continue
+		}
+		s.sojourn[i] = p.comp.Station.At(qps, s.inflate[i], s.cvInfl[i], 1)
+		mu, sigma := s.sojourn[i].LogParams()
+		// Profile drift skews the fitted lognormal away from what was
+		// profiled: the mean by muSkew (an additive log-space shift),
+		// the log-space sigma by sigmaSkew.
+		if muSkew != 1 {
+			mu += math.Log(muSkew)
+		}
+		if sigmaSkew != 1 {
+			sigma *= sigmaSkew
+		}
+		s.sjMu[i], s.sjSigma[i] = mu, sigma
+		s.sjKey[i], s.sjOK[i] = key, true
+	}
+}
+
+// passUtilization does the utilization accounting: LC cores are busy in
+// proportion to station utilization, BE cores are fully busy while
+// running.
+func (e *Engine) passUtilization(dt time.Duration, measuring bool) {
+	s := &e.soa
+	for i, p := range e.pods {
+		lcBusy := float64(p.comp.Cores) * s.sojourn[i].Utilization
+		cpuUtil := (lcBusy + float64(s.beCores[i])) / float64(p.machine.Spec.Cores)
+		lcBW := s.lcDemand[i][cluster.ResMemBW]
+		servedBW := lcBW + minf(s.beDemand[i][cluster.ResMemBW], p.machine.Spec.MemBWGBs-lcBW)
 		mbwUtil := sim.Clamp(servedBW/p.machine.Spec.MemBWGBs, 0, 1)
 		if measuring {
-			p.cpu.Observe(cpuUtil, dt)
-			p.mbw.Observe(mbwUtil, dt)
+			s.cpu[i].Observe(cpuUtil, dt)
+			s.mbw[i].Observe(mbwUtil, dt)
 		}
+	}
+}
 
-		// BE progress: satisfaction is limited by the bandwidth the
-		// machine can actually serve and by DVFS throttling.
+// passBEProgress advances BE instances: satisfaction is limited by the
+// bandwidth the machine can actually serve and by DVFS throttling, with
+// per-instance grants read from the dirty-synced instCache instead of a
+// per-tick allocation map lookup.
+func (e *Engine) passBEProgress(load float64, dt time.Duration, measuring bool) {
+	s := &e.soa
+	faultsOn := e.cfg.Faults != nil
+	for i, p := range e.pods {
 		sat := 1.0
-		if beDemand[cluster.ResMemBW] > 0 {
-			avail := p.machine.Spec.MemBWGBs - lcDemand[cluster.ResMemBW]
+		if s.beDemand[i][cluster.ResMemBW] > 0 {
+			avail := p.machine.Spec.MemBWGBs - s.lcDemand[i][cluster.ResMemBW]
 			if avail < 0 {
 				avail = 0
 			}
-			sat = minf(sat, avail/beDemand[cluster.ResMemBW])
+			sat = minf(sat, avail/s.beDemand[i][cluster.ResMemBW])
 		}
-		beFreq := p.agent.BEFrequency()
-		if freqCap > 0 && freqCap < beFreq {
-			// A slowed machine caps BE clocks too, below whatever the
-			// frequency subcontroller already granted.
-			beFreq = freqCap
+		beFreq := s.beFreq[i]
+		if faultsOn {
+			if fc := s.freqCap[i]; fc > 0 && fc < beFreq {
+				// A slowed machine caps BE clocks too, below whatever
+				// the frequency subcontroller already granted.
+				beFreq = fc
+			}
 		}
 		freqScale := beFreq / p.machine.Spec.MaxGHz
 		beRate := 0.0
-		for _, in := range p.instances {
-			alloc := p.machine.Alloc(cluster.Owner{Kind: cluster.OwnerBE, Name: in.ID})
-			if alloc == nil {
+		for _, c := range p.instCache {
+			if c.alloc == nil {
 				continue
 			}
 			// Cache-bound jobs also slow down when their CAT partition
 			// is smaller than their working set.
 			instSat := sat
-			if wanted := in.Spec.PerCore[cluster.ResLLC] * float64(alloc.Cores); wanted > 0 {
-				if cacheSat := float64(alloc.LLCWays) / wanted; cacheSat < instSat {
+			if c.wanted > 0 {
+				if cacheSat := float64(c.alloc.LLCWays) / c.wanted; cacheSat < instSat {
 					// Cache starvation degrades but does not stop
 					// progress (misses stream to DRAM).
 					if cacheSat < 0.2 {
@@ -730,8 +1022,8 @@ func (e *Engine) tick(now sim.Time, load float64) {
 					instSat = cacheSat
 				}
 			}
-			rate := in.Rate(alloc.Cores, instSat) * freqScale
-			done := in.Advance(rate, dt.Hours())
+			rate := c.in.Rate(c.alloc.Cores, instSat) * freqScale
+			done := c.in.Advance(rate, s.dtHours)
 			p.stats.Completions += done
 			if done > 0 {
 				p.obsCompletions.Add(uint64(done))
@@ -739,27 +1031,50 @@ func (e *Engine) tick(now sim.Time, load float64) {
 			beRate += rate
 		}
 		if measuring {
-			p.bet.Observe(beRate, dt)
-			p.emu.Observe(metrics.EMU(load, beRate), dt)
+			s.bet[i].Observe(beRate, dt)
+			s.emu[i].Observe(metrics.EMU(load, beRate), dt)
 		}
-		p.stats.BEThroughput = p.bet.Mean()
-		p.stats.CPUUtil = p.cpu.Mean()
-		p.stats.MemBWUtil = p.mbw.Mean()
-		p.stats.EMU = p.emu.Mean()
+		p.stats.BEThroughput = s.bet[i].Mean()
+		p.stats.CPUUtil = s.cpu[i].Mean()
+		p.stats.MemBWUtil = s.mbw[i].Mean()
+		p.stats.EMU = s.emu[i].Mean()
 	}
+}
 
-	// End-to-end latency sampling through the call graph. sampleFn draws
-	// per-component sojourns (and records them when CollectSamples) with
-	// no per-sample allocation.
-	for i := 0; i < e.cfg.SamplesPerTick; i++ {
-		lat := e.cfg.Service.Graph.Latency(e.sampleFn)
-		e.tail.Add(now, lat)
-		if e.cfg.CollectSamples {
-			e.stats.E2ESamples = append(e.stats.E2ESamples, lat)
+// passSample draws the tick's end-to-end latency samples: gather the
+// per-stage lognormal parameters, fill the draw matrix in the frozen
+// stream order with sim.LognormalDraws, then combine each row through
+// the sampling plan — the exact Node.Latency recursion — and bulk-insert
+// into the tail window. CollectSamples replays the rows into the per-pod
+// sample slices in the same element order the scalar walk appended them.
+func (e *Engine) passSample(now sim.Time) {
+	s := &e.soa
+	n := e.cfg.SamplesPerTick
+	stages := len(s.stagePod)
+	for j, pi := range s.stagePod {
+		s.stageMu[j], s.stageSig[j] = s.sjMu[pi], s.sjSigma[pi]
+	}
+	sim.LognormalDraws(s.vals, s.stageMu, s.stageSig, e.rng)
+	for d := 0; d < n; d++ {
+		s.lats[d] = s.plan.eval(s.vals[d*stages : (d+1)*stages])
+	}
+	e.tail.AddBatch(now, s.lats)
+	if e.cfg.CollectSamples {
+		for d := 0; d < n; d++ {
+			row := s.vals[d*stages : (d+1)*stages]
+			for j, pi := range s.stagePod {
+				pp := e.pods[pi]
+				pp.stats.SojournSamples = append(pp.stats.SojournSamples, row[j])
+			}
+			e.stats.E2ESamples = append(e.stats.E2ESamples, s.lats[d])
 		}
 	}
-	// The paper records the p99 once per second (§5.1's SLA statistic);
-	// sample the sliding window on second boundaries only.
+}
+
+// finishTick is the shared tick epilogue: the once-per-second window
+// observation (the paper records the p99 once per second, §5.1's SLA
+// statistic), tick counters and fault-edge reporting.
+func (e *Engine) finishTick(now sim.Time, dt time.Duration, load, qps float64, measuring bool) {
 	if measuring && now-e.lastObserve >= sim.Time(time.Second) {
 		e.lastObserve = now
 		e.tail.ObserveWindow(now)
@@ -775,6 +1090,156 @@ func (e *Engine) tick(now sim.Time, load float64) {
 		}
 	}
 	e.lastFaultScan = now
+}
+
+// RunPass executes one named pass of the SoA tick in isolation at the
+// given time and load — the per-pass cost-attribution entry point for
+// internal/benchmarks and cmd/rhythm-bench. Valid names: "demand" (LC
+// demand gather + dirty BE re-sync), "inflation" (pressure + inflation +
+// inertia), "sojourn" (cache-key check and refresh), "sample" (draw
+// matrix + plan combine + tail insert; consumes engine RNG). Reports
+// false for an unknown name. Experiments never call this; they go
+// through Run/RunUntil.
+func (e *Engine) RunPass(name string, now sim.Time, load float64) bool {
+	switch name {
+	case "demand":
+		e.passDemand(load)
+	case "inflation":
+		e.passPressure()
+		e.passInflation()
+	case "sojourn":
+		e.passSojourn(load * e.cfg.Service.MaxLoadQPS)
+	case "sample":
+		e.passSample(now)
+	default:
+		return false
+	}
+	return true
+}
+
+// tickReference is the pre-SoA tick, kept verbatim as the differential
+// oracle (TestTickSoAMatchesScalar): one scalar loop over pods with no
+// derived caches — per-instance allocation lookups, per-call smoothing
+// coefficient, per-draw graph walks through sampleFn. It shares the SoA
+// rows as its backing state so a reference engine and a passes engine
+// evolve the same fields, but reads everything the expensive way.
+func (e *Engine) tickReference(now sim.Time, load float64) {
+	dt := e.cfg.TickDt
+	qps := load * e.cfg.Service.MaxLoadQPS
+	measuring := now >= e.soa.warmupAt
+	s := &e.soa
+
+	// Per-pod sojourn distributions under current interference, cached
+	// per operating point (see soaState.sojourn).
+	for i, p := range e.pods {
+		if e.cfg.Faults != nil && e.cfg.Faults.CrashTriggered(e.lastFaultScan, now, p.comp.Name) {
+			e.crashBE(p, now)
+		}
+		lcDemand := p.comp.DemandAt(load)
+		beDemand := p.beDemand()
+		press := e.cfg.Model.Pressure(p.machine.Spec, lcDemand, beDemand)
+		muSkew, sigmaSkew := 1.0, 1.0
+		freqCap := 0.0
+		if e.cfg.Faults != nil {
+			if m := e.cfg.Faults.InterferenceMul(now, p.comp.Name); m != 1 {
+				press = press.Scale(m)
+			}
+			freqCap = e.cfg.Faults.FreqCapGHz(now, p.comp.Name)
+			muSkew, sigmaSkew = e.cfg.Faults.Drift(now, p.comp.Name)
+		}
+		inflate, cvInflate := e.cfg.Model.Inflation(p.comp, press)
+		if freqCap > 0 && freqCap < p.machine.Spec.MaxGHz {
+			inflate *= interference.FreqInflation(p.comp, freqCap, p.machine.Spec.MaxGHz)
+		}
+		if e.cfg.InertiaTau >= 0 {
+			// The scalar smooth recomputed alpha per call.
+			alpha := 1 - math.Exp(-dt.Seconds()/e.cfg.InertiaTau.Seconds())
+			s.inflate[i] += (inflate - s.inflate[i]) * alpha
+			s.cvInfl[i] += (cvInflate - s.cvInfl[i]) * alpha
+			inflate, cvInflate = s.inflate[i], s.cvInfl[i]
+		} else {
+			s.inflate[i], s.cvInfl[i] = inflate, cvInflate
+		}
+		if key := [5]float64{qps, inflate, cvInflate, muSkew, sigmaSkew}; !s.sjOK[i] || key != s.sjKey[i] {
+			s.sojourn[i] = p.comp.Station.At(qps, inflate, cvInflate, 1)
+			mu, sigma := s.sojourn[i].LogParams()
+			if muSkew != 1 {
+				mu += math.Log(muSkew)
+			}
+			if sigmaSkew != 1 {
+				sigma *= sigmaSkew
+			}
+			s.sjMu[i], s.sjSigma[i] = mu, sigma
+			s.sjKey[i], s.sjOK[i] = key, true
+		}
+		sj := s.sojourn[i]
+
+		beAlloc := p.runningBEAlloc()
+		lcBusy := float64(p.comp.Cores) * sj.Utilization
+		cpuUtil := (lcBusy + float64(beAlloc.Cores)) / float64(p.machine.Spec.Cores)
+		servedBW := lcDemand[cluster.ResMemBW] + minf(beDemand[cluster.ResMemBW], p.machine.Spec.MemBWGBs-lcDemand[cluster.ResMemBW])
+		mbwUtil := sim.Clamp(servedBW/p.machine.Spec.MemBWGBs, 0, 1)
+		if measuring {
+			s.cpu[i].Observe(cpuUtil, dt)
+			s.mbw[i].Observe(mbwUtil, dt)
+		}
+
+		sat := 1.0
+		if beDemand[cluster.ResMemBW] > 0 {
+			avail := p.machine.Spec.MemBWGBs - lcDemand[cluster.ResMemBW]
+			if avail < 0 {
+				avail = 0
+			}
+			sat = minf(sat, avail/beDemand[cluster.ResMemBW])
+		}
+		beFreq := p.agent.BEFrequency()
+		if freqCap > 0 && freqCap < beFreq {
+			beFreq = freqCap
+		}
+		freqScale := beFreq / p.machine.Spec.MaxGHz
+		beRate := 0.0
+		for _, in := range p.instances {
+			alloc := p.machine.Alloc(cluster.Owner{Kind: cluster.OwnerBE, Name: in.ID})
+			if alloc == nil {
+				continue
+			}
+			instSat := sat
+			if wanted := in.Spec.PerCore[cluster.ResLLC] * float64(alloc.Cores); wanted > 0 {
+				if cacheSat := float64(alloc.LLCWays) / wanted; cacheSat < instSat {
+					if cacheSat < 0.2 {
+						cacheSat = 0.2
+					}
+					instSat = cacheSat
+				}
+			}
+			rate := in.Rate(alloc.Cores, instSat) * freqScale
+			done := in.Advance(rate, dt.Hours())
+			p.stats.Completions += done
+			if done > 0 {
+				p.obsCompletions.Add(uint64(done))
+			}
+			beRate += rate
+		}
+		if measuring {
+			s.bet[i].Observe(beRate, dt)
+			s.emu[i].Observe(metrics.EMU(load, beRate), dt)
+		}
+		p.stats.BEThroughput = s.bet[i].Mean()
+		p.stats.CPUUtil = s.cpu[i].Mean()
+		p.stats.MemBWUtil = s.mbw[i].Mean()
+		p.stats.EMU = s.emu[i].Mean()
+	}
+
+	// End-to-end latency sampling through the call graph, one walk per
+	// draw.
+	for i := 0; i < e.cfg.SamplesPerTick; i++ {
+		lat := e.cfg.Service.Graph.Latency(e.sampleFn)
+		e.tail.Add(now, lat)
+		if e.cfg.CollectSamples {
+			e.stats.E2ESamples = append(e.stats.E2ESamples, lat)
+		}
+	}
+	e.finishTick(now, dt, load, qps, measuring)
 }
 
 // emitFaultEdges reports fault activations and recoveries in the tick's
@@ -822,21 +1287,7 @@ func (e *Engine) crashBE(p *podRuntime, now sim.Time) {
 	}
 	p.instances = p.instances[:0]
 	p.suspended = false
-}
-
-// smooth applies the first-order inertia of Config.InertiaTau to the
-// steady-state inflation targets.
-func (p *podRuntime) smooth(inflate, cvInflate float64, dt, tau time.Duration) (float64, float64) {
-	if tau < 0 {
-		return inflate, cvInflate
-	}
-	if p.smoothedInflate == 0 {
-		p.smoothedInflate, p.smoothedCV = 1, 1
-	}
-	alpha := 1 - math.Exp(-dt.Seconds()/tau.Seconds())
-	p.smoothedInflate += (inflate - p.smoothedInflate) * alpha
-	p.smoothedCV += (cvInflate - p.smoothedCV) * alpha
-	return p.smoothedInflate, p.smoothedCV
+	e.markDirty(p)
 }
 
 // runningBEAlloc sums allocations of running (not suspended) instances.
@@ -908,12 +1359,12 @@ func (e *Engine) controlTick(now sim.Time, load float64) {
 	e.obsLoadH.Observe(load)
 	hasBE := e.cfg.Policy != nil && (len(e.cfg.BETypes) > 0 || e.cfg.ExternalBE)
 	for _, p := range e.pods {
-		if p.sojournOK {
+		if e.soa.sjOK[p.idx] {
 			// Per-Servpod analytic tail at the current operating point:
 			// the p99 of the pod's fitted lognormal sojourn. This is the
 			// series `rhythm calibrate` matches against a deployment's
 			// per-pod latency dashboards.
-			p.obsSojournP99.Observe(math.Exp(p.sjMu + z99*p.sjSigma))
+			p.obsSojournP99.Observe(math.Exp(e.soa.sjMu[p.idx] + z99*e.soa.sjSigma[p.idx]))
 		}
 		var act controller.Action
 		switch {
@@ -1048,6 +1499,10 @@ func (e *Engine) apply(p *podRuntime, act controller.Action, now sim.Time, load,
 
 	// Network subcontroller: B_link - 1.2*B_LC to BE (§3.5.2).
 	p.agent.SetBENetwork(lcDemand[cluster.ResNetBW])
+
+	// Every action path above may have re-granted allocations or flipped
+	// instance states; the next tick re-syncs this pod's SoA row.
+	e.markDirty(p)
 }
 
 // resume restarts suspended instances from the minimal slice; instances
@@ -1069,6 +1524,7 @@ func (e *Engine) resume(p *podRuntime, now sim.Time) {
 		}
 	}
 	p.suspended = !allUp
+	e.markDirty(p)
 }
 
 // launch admits one new BE instance with the §3.5.2 starting slice.
@@ -1088,6 +1544,7 @@ func (e *Engine) launch(p *podRuntime, now sim.Time) {
 	}
 	p.beSeq++
 	p.instances = append(p.instances, in)
+	e.markDirty(p)
 	e.beEvent(now, p, id, "launch")
 }
 
@@ -1157,15 +1614,21 @@ func (e *Engine) AdmitBE(pod string, ty bejobs.Type, id string) bool {
 	}
 	p.beSeq++
 	p.instances = append(p.instances, in)
+	e.markDirty(p)
 	e.beEvent(e.cursor, p, id, "launch")
 	return true
 }
 
 // TakeEvicted returns the BE instances evicted since the last call and
-// resets the list. Only populated under Config.ExternalBE.
+// resets the list. Only populated under Config.ExternalBE. The returned
+// slice is a view of the engine's internal buffer, valid until the next
+// eviction accrues (the next control tick or crash fault after this
+// call): the fleet dispatcher consumes it inside the same epoch barrier,
+// so re-queueing stays allocation-free. Callers that need to retain
+// entries across further engine progress must copy them out.
 func (e *Engine) TakeEvicted() []EvictedBE {
 	ev := e.evicted
-	e.evicted = nil
+	e.evicted = e.evicted[:0]
 	return ev
 }
 
@@ -1189,11 +1652,11 @@ func (e *Engine) record(now sim.Time, p *podRuntime, load, slack float64) {
 	}
 	add("load", load)
 	add("slack", slack)
-	add("cpu", p.cpu.Mean())
+	add("cpu", e.soa.cpu[p.idx].Mean())
 	add("be_llc", float64(beAlloc.LLCWays))
 	add("be_cores", float64(beAlloc.Cores))
 	add("be_instances", float64(running))
-	add("be_throughput", p.bet.Mean())
+	add("be_throughput", e.soa.bet[p.idx].Mean())
 }
 
 func minf(a, b float64) float64 {

@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"time"
 
 	"rhythm/internal/bejobs"
@@ -109,6 +110,10 @@ type replica struct {
 	entry int
 	eng   *engine.Engine
 	stats *engine.RunStats
+	// names holds the fleet-wide machine names ("<replica>/<pod>") in
+	// component order — the order MachineViews reports — precomputed at
+	// New so the epoch barrier never rebuilds them.
+	names []string
 }
 
 // owner locates the replica and pod behind a fleet-wide machine name.
@@ -129,6 +134,12 @@ type Fleet struct {
 	now    sim.Time
 	epochs int
 	arrSeq int
+	// arrRNG and labelBuf are reused per epoch: the arrival substream
+	// label "fleet/arrivals/<epoch>" is assembled in labelBuf and hashed
+	// with sim.SubSeedBytes, and arrRNG is reseeded in place, so drawing
+	// the epoch's Poisson batch allocates nothing.
+	arrRNG   sim.RNG
+	labelBuf []byte
 	// waits holds one queue-wait sample per successful placement.
 	waits []float64
 	// views and states are reused across epochs to keep the barrier
@@ -210,7 +221,9 @@ func New(cfg Config) (*Fleet, error) {
 			ri := len(f.replicas)
 			f.replicas = append(f.replicas, rep)
 			for _, c := range ent.Service.Components {
-				f.owners[name+"/"+c.Name] = owner{rep: ri, pod: c.Name}
+				full := name + "/" + c.Name
+				rep.names = append(rep.names, full)
+				f.owners[full] = owner{rep: ri, pod: c.Name}
 			}
 			f.machines += len(ent.Service.Components)
 		}
@@ -235,9 +248,13 @@ func (f *Fleet) Step() {
 	}
 
 	// Arrivals: a Poisson batch for this epoch from its own substream.
+	// The label is assembled in a reused buffer and hashed directly;
+	// SubSeedBytes guarantees the same seed fmt.Sprintf + SubSeed gave.
 	mean := f.cfg.ArrivalsPerMachineHour * float64(f.machines) * f.cfg.Epoch.Hours()
-	r := sim.NewRNG(sim.SubSeed(f.cfg.Seed, fmt.Sprintf("fleet/arrivals/%d", f.epochs)))
-	n := int(loadgen.Poisson(r, mean))
+	f.labelBuf = append(f.labelBuf[:0], "fleet/arrivals/"...)
+	f.labelBuf = strconv.AppendInt(f.labelBuf, int64(f.epochs), 10)
+	f.arrRNG.Reseed(sim.SubSeedBytes(f.cfg.Seed, f.labelBuf))
+	n := int(loadgen.Poisson(&f.arrRNG, mean))
 	for i := 0; i < n; i++ {
 		ty := f.cfg.BETypes[f.arrSeq%len(f.cfg.BETypes)]
 		f.arrSeq++
@@ -268,9 +285,9 @@ func (f *Fleet) Step() {
 	for _, rep := range f.replicas {
 		start := len(f.views)
 		f.views = rep.eng.MachineViews(f.views)
-		for _, v := range f.views[start:] {
+		for vi, v := range f.views[start:] {
 			f.states = append(f.states, scheduler.MachineState{
-				Name:         rep.name + "/" + v.Pod,
+				Name:         rep.names[vi],
 				Accepting:    v.Accepting,
 				FreeCores:    v.FreeCores,
 				FreeMemoryGB: v.FreeMemoryGB,

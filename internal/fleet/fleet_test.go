@@ -67,6 +67,39 @@ func TestDeterminismAcrossJobs(t *testing.T) {
 	}
 }
 
+// TestStepAllocationFree pins the satellite perf contract on the epoch
+// barrier: at steady state (arrival label buffer warm, scheduler scratch
+// grown, machine-name strings precomputed) a Step over the fleet4 preset
+// allocates only the rare admission-path objects — instances being
+// launched — never the per-epoch labels, state slices, or dispatch
+// scratch it used to rebuild.
+func TestStepAllocationFree(t *testing.T) {
+	f, err := New(Config{
+		Entries:                heraclesEntries(t, "fleet4"),
+		Pattern:                loadgen.Constant(0.5),
+		ArrivalsPerMachineHour: 600, // busy queue: dispatch every epoch
+		Duration:               time.Hour,
+		Epoch:                  2 * time.Second,
+		Seed:                   2020,
+		Jobs:                   1, // measure the barrier, not the pool
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm past the engines' inertia transient and the scratch growth.
+	for i := 0; i < 10; i++ {
+		f.Step()
+	}
+	avg := testing.AllocsPerRun(20, func() { f.Step() })
+	// The hot path is allocation-free; what remains is admission (new BE
+	// instances and their grants) plus occasional slice regrowth — a
+	// handful of objects, where the pre-SoA barrier paid thousands
+	// (per-machine name concats, fresh dispatch slices, label Sprintfs).
+	if avg > 50 {
+		t.Fatalf("fleet Step allocates %.1f objects/op at steady state, want <= 50", avg)
+	}
+}
+
 // TestQueueConservation pins the queue's flow invariant: every job that
 // entered (accepted submission or requeue) either left via dispatch or is
 // still pending.

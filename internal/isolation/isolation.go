@@ -158,7 +158,7 @@ func (a *Agent) AdjustBEMemory(id string, grow bool) bool {
 // SetBENetwork installs the qdisc class rate for BE traffic:
 // Blink - 1.2*B_LC per §3.5.2, split equally among instances.
 func (a *Agent) SetBENetwork(lcGbps float64) {
-	be := a.Machine.BEOwners()
+	be := a.Machine.BEOwnersView()
 	if len(be) == 0 {
 		return
 	}
@@ -189,7 +189,7 @@ func (a *Agent) SetBENetwork(lcGbps float64) {
 func (a *Agent) StepDownBEFrequency() bool {
 	const step = 0.1 // 100 MHz
 	changed := false
-	for _, o := range a.Machine.BEOwners() {
+	for _, o := range a.Machine.BEOwnersView() {
 		cur := a.Machine.Alloc(o)
 		if cur == nil {
 			continue
@@ -215,7 +215,7 @@ func (a *Agent) StepDownBEFrequency() bool {
 func (a *Agent) RestoreBEFrequency() bool {
 	const step = 0.1
 	changed := false
-	for _, o := range a.Machine.BEOwners() {
+	for _, o := range a.Machine.BEOwnersView() {
 		cur := a.Machine.Alloc(o)
 		if cur == nil || cur.FreqGHz == 0 || cur.FreqGHz >= a.Machine.Spec.MaxGHz {
 			continue
@@ -236,7 +236,7 @@ func (a *Agent) RestoreBEFrequency() bool {
 // or the nominal frequency when none run.
 func (a *Agent) BEFrequency() float64 {
 	f := a.Machine.Spec.MaxGHz
-	for _, o := range a.Machine.BEOwners() {
+	for _, o := range a.Machine.BEOwnersView() {
 		if cur := a.Machine.Alloc(o); cur != nil && cur.FreqGHz != 0 && cur.FreqGHz < f {
 			f = cur.FreqGHz
 		}

@@ -5,24 +5,24 @@
 //
 // TailTracker is the hot path: every engine tick adds SamplesPerTick
 // samples but only every control tick queries the window p99, over
-// millions of requests per experiment. It is therefore incremental — a
-// ring buffer for arrival order plus a sorted snapshot of the window that
-// is reconciled lazily: adds and evictions append to pending batches in
-// O(1), and a query folds the batches in by sorting only the batch and
-// merging it through the snapshot in one linear pass, after which any
-// quantile is an O(1) indexed lookup. That replaces the seed tracker's
-// copy-and-sort of the whole window on every query (O(W log W)) with
-// O(P log P + W) per reconcile, P being just the samples since the last
-// query — and with nothing at all on repeated queries of an unchanged
-// window. The results are exact, not approximate: the reconciled snapshot
-// is precisely the sorted window, and quantiles go through the very same
-// sim.QuantileSorted the seed used, which the differential test in this
-// package pins down (and `make check` runs).
+// millions of requests per experiment. The cost model is therefore
+// write-heavy: storage is a plain ring buffer where adds and evictions are
+// O(1) slot writes with no value-order bookkeeping at all, and a query
+// copies the live window into a reused scratch buffer and runs the
+// deterministic Floyd–Rivest selection (`sim.SelectQuantile`) — O(W) per
+// query instead of the sorted-snapshot reconcile (batch sort + full-window
+// merge) the previous tracker paid on every queried window change. With
+// ~80 adds between queries that reconcile dominated the engine tick;
+// selection-on-read moves the entire cost to the rare reader. The results
+// are exact, not approximate: order statistics are permutation-invariant
+// and SelectQuantile is differentially pinned bit-equal to
+// sort+sim.QuantileSorted, so every quantile matches the seed tracker's
+// copy-and-sort to the last bit — the differential test in this package
+// pins that down (and `make check` runs it).
 package metrics
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"rhythm/internal/sim"
@@ -48,9 +48,9 @@ type sample struct {
 // Storage is a power-of-two ring buffer: eviction recycles slots in place,
 // so the footprint is bounded by the window's high-water occupancy instead
 // of growing with the total number of samples ever added (the re-slicing
-// tracker this replaces leaked its head on every prune). The value-order
-// side keeps the same bound: sorted/scratch ping-pong at window size, and
-// the pending batches are force-reconciled before they outgrow the window.
+// tracker this replaced leaked its head on every prune). There is no
+// value-order index: a query copies the live window into scratch and
+// selects the order statistic there, so writes touch exactly one ring slot.
 type TailTracker struct {
 	window time.Duration
 	buf    []sample // ring storage; len(buf) is the capacity, a power of two
@@ -58,15 +58,10 @@ type TailTracker struct {
 	n      int      // live samples
 	latest sim.Time // newest timestamp seen (Add clamps to this)
 
-	// Value order. sorted is the window multiset as of the last reconcile;
-	// added/removed are the mutations since then, in arrival order. The
-	// invariant is sorted ∪ added − removed == the live window, element
-	// for element: reconcile sorts the two batches and folds them through
-	// sorted in one merge pass, restoring added/removed to empty.
-	sorted  []float64
-	added   []float64
-	removed []float64
-	scratch []float64 // merge target, swapped with sorted each reconcile
+	// scratch is the query buffer: Quantile copies the live window values
+	// here and partially reorders them in place (SelectQuantile). Bounded
+	// by the window's high-water occupancy, like the ring.
+	scratch []float64
 
 	worstAt sim.Time
 	worst   float64
@@ -96,13 +91,33 @@ func (tt *TailTracker) Add(t sim.Time, v float64) {
 	}
 	tt.buf[(tt.head+tt.n)&(len(tt.buf)-1)] = sample{t: t, v: v}
 	tt.n++
-	tt.added = append(tt.added, v)
 	tt.prune(t)
-	// Keep memory bounded even if the caller never queries: once the
-	// pending batches reach window size, fold them in now.
-	if len(tt.added)+len(tt.removed) > tt.n+64 {
-		tt.reconcile()
+}
+
+// AddBatch records len(vs) samples all observed at time t, in order. It is
+// equivalent to calling Add(t, v) for each v — the engine's sampling pass
+// produces a whole tick's draws at one timestamp — but pays the
+// clamp/Strict check, the capacity check and the prune exactly once.
+func (tt *TailTracker) AddBatch(t sim.Time, vs []float64) {
+	if len(vs) == 0 {
+		return
 	}
+	if t < tt.latest {
+		if Strict {
+			panic(fmt.Sprintf("metrics: TailTracker.Add time ran backwards: %v after %v", t, tt.latest))
+		}
+		t = tt.latest
+	}
+	tt.latest = t
+	for tt.n+len(vs) > len(tt.buf) {
+		tt.grow()
+	}
+	mask := len(tt.buf) - 1
+	for i, v := range vs {
+		tt.buf[(tt.head+tt.n+i)&mask] = sample{t: t, v: v}
+	}
+	tt.n += len(vs)
+	tt.prune(t)
 }
 
 // grow doubles the ring (64 slots minimum), restoring arrival order from
@@ -123,50 +138,12 @@ func (tt *TailTracker) grow() {
 // prune drops samples older than the window.
 func (tt *TailTracker) prune(now sim.Time) {
 	for tt.n > 0 {
-		s := tt.buf[tt.head]
-		if now.Sub(s.t) <= tt.window {
+		if now.Sub(tt.buf[tt.head].t) <= tt.window {
 			break
 		}
-		tt.removed = append(tt.removed, s.v)
 		tt.head = (tt.head + 1) & (len(tt.buf) - 1)
 		tt.n--
 	}
-}
-
-// reconcile folds the pending added/removed batches into the sorted
-// snapshot: sort each batch (O(P log P)), then one merge pass over
-// snapshot+batch that skips each removed value exactly once (O(W)). Both
-// batches are multisets of values known to be in snapshot ∪ added, and the
-// merge visits values in ascending order, so consuming removed front to
-// front matches every eviction against one equal element.
-func (tt *TailTracker) reconcile() {
-	if len(tt.added) == 0 && len(tt.removed) == 0 {
-		return
-	}
-	sort.Float64s(tt.added)
-	sort.Float64s(tt.removed)
-	base, add, rem := tt.sorted, tt.added, tt.removed
-	out := tt.scratch[:0]
-	i, j, k := 0, 0, 0
-	for i < len(base) || j < len(add) {
-		var v float64
-		if j >= len(add) || (i < len(base) && base[i] <= add[j]) {
-			v = base[i]
-			i++
-		} else {
-			v = add[j]
-			j++
-		}
-		if k < len(rem) && rem[k] == v {
-			k++
-			continue
-		}
-		out = append(out, v)
-	}
-	tt.scratch = tt.sorted[:0]
-	tt.sorted = out
-	tt.added = tt.added[:0]
-	tt.removed = tt.removed[:0]
 }
 
 // N returns the number of samples currently in the window.
@@ -178,16 +155,24 @@ func (tt *TailTracker) N() int { return tt.n }
 func (tt *TailTracker) Cap() int { return len(tt.buf) }
 
 // Quantile returns the q-quantile over the current window (0 when empty).
-// After reconciling any pending mutations it evaluates sim.QuantileSorted
-// on the sorted snapshot — the identical computation the seed tracker ran
-// on a fresh sorted copy, minus the copy and the sort. Repeated queries of
-// an unchanged window are pure O(1) lookups.
+// It copies the live window into scratch and runs sim.SelectQuantile —
+// bit-equal to sorting the copy and evaluating sim.QuantileSorted (the
+// seed tracker's computation), since order statistics are invariant under
+// permutation and SelectQuantile is differentially pinned against exactly
+// that oracle.
 func (tt *TailTracker) Quantile(q float64) float64 {
 	if tt.n == 0 {
 		return 0
 	}
-	tt.reconcile()
-	return sim.QuantileSorted(tt.sorted, q)
+	if cap(tt.scratch) < tt.n {
+		tt.scratch = make([]float64, tt.n)
+	}
+	xs := tt.scratch[:tt.n]
+	mask := len(tt.buf) - 1
+	for i := range xs {
+		xs[i] = tt.buf[(tt.head+i)&mask].v
+	}
+	return sim.SelectQuantile(xs, q)
 }
 
 // P99 returns the 99th percentile over the current window.

@@ -80,8 +80,8 @@ func TestTailTrackerMatchesReference(t *testing.T) {
 			if got, want := tt.Quantile(q), ref.quantile(q); got != want {
 				t.Fatalf("window %v step %d: quantile(%v) = %v, ref %v", window, step, q, got, want)
 			}
-			// Re-query immediately: the already-reconciled O(1) path must
-			// return the identical value.
+			// Re-query immediately: querying must not perturb the window
+			// (scratch reordering stays inside the scratch buffer).
 			if got, want := tt.Quantile(q), ref.quantile(q); got != want {
 				t.Fatalf("window %v step %d: reconciled quantile(%v) = %v, ref %v", window, step, q, got, want)
 			}
@@ -112,24 +112,60 @@ func TestTailTrackerBoundedCapacity(t *testing.T) {
 	if tt.Cap() > 4*maxLive {
 		t.Fatalf("ring capacity %d after 1M adds; occupancy never exceeded %d", tt.Cap(), maxLive)
 	}
-	// Value-order side: snapshot, merge scratch, and the pending batches
-	// must all stay at window scale even though this loop never queries
-	// (the forced reconcile in Add is what bounds the batches).
-	for _, sl := range []struct {
-		name string
-		c    int
-	}{
-		{"sorted", cap(tt.sorted)},
-		{"scratch", cap(tt.scratch)},
-		{"added", cap(tt.added)},
-		{"removed", cap(tt.removed)},
-	} {
-		if sl.c > 4*maxLive {
-			t.Fatalf("%s capacity %d after 1M adds; occupancy never exceeded %d", sl.name, sl.c, maxLive)
-		}
+	// Query side: the selection scratch is sized by the high-water window
+	// occupancy, never by the total samples added.
+	tt.P99()
+	if c := cap(tt.scratch); c > 4*maxLive {
+		t.Fatalf("scratch capacity %d after 1M adds; occupancy never exceeded %d", c, maxLive)
 	}
 	if tt.N() > maxLive {
 		t.Fatalf("live samples %d exceed window occupancy %d", tt.N(), maxLive)
+	}
+}
+
+// TestTailTrackerAddBatchMatchesSequential pins the bulk-insert contract:
+// AddBatch(t, vs) is element-for-element equivalent to Add(t, v) per value,
+// including the clamp path, eviction timing, and every quantile bit.
+func TestTailTrackerAddBatchMatchesSequential(t *testing.T) {
+	const window = 200 * time.Millisecond
+	batched := NewTailTracker(window)
+	seq := NewTailTracker(window)
+	rng := sim.NewRNG(13).Fork("addbatch-exactness")
+	now := sim.Time(0)
+	var vs []float64
+	for step := 0; step < 5000; step++ {
+		switch {
+		case rng.Float64() < 0.01:
+			now = now.Add(window * 2)
+		case rng.Float64() < 0.05:
+			now = now.Add(-time.Millisecond) // clamp path
+		default:
+			now = now.Add(time.Duration(rng.Float64() * 5 * float64(time.Millisecond)))
+		}
+		vs = vs[:0]
+		for k := int(rng.Float64() * 6); k >= 0; k-- {
+			vs = append(vs, float64(int(rng.Float64()*200))/100)
+		}
+		batched.AddBatch(now, vs)
+		for _, v := range vs {
+			seq.Add(now, v)
+		}
+		if batched.N() != seq.N() {
+			t.Fatalf("step %d: N = %d batched, %d sequential", step, batched.N(), seq.N())
+		}
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			if got, want := batched.Quantile(q), seq.Quantile(q); got != want {
+				t.Fatalf("step %d: quantile(%v) = %v batched, %v sequential", step, q, got, want)
+			}
+		}
+	}
+	// Empty batch is a no-op, even with a backwards timestamp under Strict.
+	defer func(old bool) { Strict = old }(Strict)
+	Strict = true
+	before := batched.N()
+	batched.AddBatch(0, nil)
+	if batched.N() != before {
+		t.Fatalf("empty AddBatch changed N: %d -> %d", before, batched.N())
 	}
 }
 

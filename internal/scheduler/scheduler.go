@@ -16,6 +16,7 @@ package scheduler
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"rhythm/internal/bejobs"
 	"rhythm/internal/obs"
@@ -51,12 +52,45 @@ type Assignment struct {
 	Waited sim.Time
 }
 
+// candidate is one accepting machine in a Dispatch pass, tagged with its
+// caller position for the final tie-break.
+type candidate struct {
+	MachineState
+	pos int
+}
+
+// candList orders dispatch candidates least-loaded-first (fewest resident
+// BE instances, then most free cores, then caller position). It wraps the
+// slice in a struct so Dispatch can sort the Scheduler-owned scratch via
+// sort.Sort on a field pointer without any per-call interface or closure
+// allocation. The comparator is a total order (pos breaks every tie), so
+// the result is independent of the sort algorithm.
+type candList struct{ a []candidate }
+
+func (c *candList) Len() int      { return len(c.a) }
+func (c *candList) Swap(i, j int) { c.a[i], c.a[j] = c.a[j], c.a[i] }
+func (c *candList) Less(i, j int) bool {
+	if c.a[i].Resident != c.a[j].Resident {
+		return c.a[i].Resident < c.a[j].Resident
+	}
+	if c.a[i].FreeCores != c.a[j].FreeCores {
+		return c.a[i].FreeCores > c.a[j].FreeCores
+	}
+	return c.a[i].pos < c.a[j].pos
+}
+
 // Scheduler is the BE job queue plus dispatch logic. It is not safe for
 // concurrent use; the fleet layer drives it serially at epoch barriers.
 type Scheduler struct {
 	limit int
 	queue []Job
 	seq   int
+
+	// avail, out and idBuf are per-call scratch reused across epochs so
+	// the steady-state dispatch loop is allocation-free.
+	avail candList
+	out   []Assignment
+	idBuf []byte
 
 	submitted      int
 	dropped        int
@@ -110,7 +144,11 @@ func (s *Scheduler) Submit(t bejobs.Type, now sim.Time) (Job, error) {
 	s.seq++
 	s.submitted++
 	s.obsSubmitted.Inc()
-	j := Job{ID: fmt.Sprintf("be-%d", s.seq), Type: t, SubmittedAt: now}
+	// The ID string itself must be retained, but the digits are formatted
+	// in a reused buffer so each Submit costs one allocation, not three.
+	s.idBuf = append(s.idBuf[:0], "be-"...)
+	s.idBuf = strconv.AppendInt(s.idBuf, int64(s.seq), 10)
+	j := Job{ID: string(s.idBuf), Type: t, SubmittedAt: now}
 	s.queue = append(s.queue, j)
 	s.obsQueueDepth.Set(float64(len(s.queue)))
 	return j, nil
@@ -130,7 +168,11 @@ func (s *Scheduler) Requeue(j Job) bool {
 	}
 	s.requeued++
 	s.obsRequeued.Inc()
-	s.queue = append([]Job{j}, s.queue...)
+	// Head insert in place: grow by one, shift right, write the head.
+	// Amortized allocation-free, unlike rebuilding the slice per requeue.
+	s.queue = append(s.queue, Job{})
+	copy(s.queue[1:], s.queue)
+	s.queue[0] = j
 	s.obsQueueDepth.Set(float64(len(s.queue)))
 	return true
 }
@@ -182,32 +224,25 @@ func (s *Scheduler) MeanWait() float64 {
 // on name, so a renamed fleet (the fleet layer names machines
 // "<replica>/<pod>") dispatches identically as long as the machines are
 // reported in the same order.
+//
+// The returned slice is scratch owned by the Scheduler, valid until the
+// next Dispatch call; callers that retain assignments across calls must
+// copy them.
 func (s *Scheduler) Dispatch(machines []MachineState, now sim.Time) []Assignment {
 	if len(s.queue) == 0 || len(machines) == 0 {
 		return nil
 	}
-	type candidate struct {
-		MachineState
-		pos int
-	}
-	avail := make([]candidate, 0, len(machines))
+	s.avail.a = s.avail.a[:0]
 	for i, m := range machines {
 		if m.Accepting && m.FreeCores >= 1 {
-			avail = append(avail, candidate{MachineState: m, pos: i})
+			s.avail.a = append(s.avail.a, candidate{MachineState: m, pos: i})
 		}
 	}
-	sort.Slice(avail, func(i, j int) bool {
-		if avail[i].Resident != avail[j].Resident {
-			return avail[i].Resident < avail[j].Resident
-		}
-		if avail[i].FreeCores != avail[j].FreeCores {
-			return avail[i].FreeCores > avail[j].FreeCores
-		}
-		return avail[i].pos < avail[j].pos
-	})
+	sort.Sort(&s.avail)
 
-	var out []Assignment
-	for _, m := range avail {
+	s.out = s.out[:0]
+	out := s.out
+	for _, m := range s.avail.a {
 		if len(s.queue) == 0 {
 			break
 		}
@@ -231,6 +266,7 @@ func (s *Scheduler) Dispatch(machines []MachineState, now sim.Time) []Assignment
 		s.totalWait += waited
 		out = append(out, Assignment{Job: j, Machine: m.Name, Waited: waited})
 	}
+	s.out = out
 	if len(out) > 0 {
 		s.obsQueueDepth.Set(float64(len(s.queue)))
 	}

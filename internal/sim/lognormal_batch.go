@@ -3,9 +3,9 @@ package sim
 import "math"
 
 // sumBatch is the scratch extent (in draws×stages elements) of one
-// SumLognormals chunk: two float64 arrays of this size live on the stack
-// (8 KiB total), small enough to stay in L1 while the four passes stream
-// over them.
+// SumLognormals / LognormalDraws chunk: two float64 arrays of this size
+// live on the stack (8 KiB total), small enough to stay in L1 while the
+// four passes stream over them.
 const sumBatch = 512
 
 // SumLognormals fills dst with len(dst) independent path sums over the
@@ -108,6 +108,99 @@ func SumLognormals(dst []float64, mu, sigma []float64, r *RNG) {
 				t += math.Exp(mu[s] + sigma[s]*norm)
 			}
 			out[d] = t
+		}
+	}
+}
+
+// LognormalDraws fills dst with len(dst)/k complete draws over the
+// per-stage lognormal parameters mu and sigma (log-space), draw-major and
+// stage-minor:
+//
+//	dst[i*k+s] = exp(mu[s] + sigma[s] * z_{i,s})
+//
+// where z_{i,s} are standard normal draws from r and k = len(mu). It is
+// SumLognormals without the row accumulation: the same frozen uniform
+// stream, the same chunked radius/angle/exp passes, but the per-stage
+// values are written out individually so the caller can combine them with
+// an association other than a left-to-right sum (the engine's latency
+// graphs nest chains to the right and take maxima across parallel fan-out,
+// so their per-draw combine is not a flat Σ). Every element is
+// bit-identical to the plain per-draw loop
+// `math.Exp(mu[s] + sigma[s]*r.NormFloat64())` in the same order, and r is
+// left at the same stream position. Zero heap allocations.
+//
+// mu and sigma must have equal length, and len(dst) must be a multiple of
+// k; len(mu) == 0 requires len(dst) == 0 and is a no-op.
+func LognormalDraws(dst []float64, mu, sigma []float64, r *RNG) {
+	k := len(mu)
+	if len(sigma) != k {
+		panic("sim: LognormalDraws mu/sigma length mismatch")
+	}
+	if k == 0 {
+		if len(dst) != 0 {
+			panic("sim: LognormalDraws dst not a multiple of stage count")
+		}
+		return
+	}
+	if len(dst)%k != 0 {
+		panic("sim: LognormalDraws dst not a multiple of stage count")
+	}
+	if k > sumBatch {
+		// Degenerate path depth; keep the frozen order with the plain
+		// per-draw loop rather than growing heap scratch.
+		for i := 0; i < len(dst); i += k {
+			row := dst[i : i+k]
+			for s := range row {
+				row[s] = math.Exp(mu[s] + sigma[s]*r.NormFloat64())
+			}
+		}
+		return
+	}
+	var zrs, css [sumBatch]float64
+	drawsPer := sumBatch / k
+	n := len(dst) / k
+	for base := 0; base < n; base += drawsPer {
+		m := drawsPer
+		if n-base < m {
+			m = n - base
+		}
+		e := m * k
+		zr := zrs[:e]
+		cs := css[:e]
+		// Pass 1: uniforms in the frozen stream order. u1 is redrawn
+		// while zero, exactly as NormFloat64 does.
+		for j := range zr {
+			u1 := r.Float64()
+			for u1 == 0 {
+				u1 = r.Float64()
+			}
+			zr[j] = u1
+			cs[j] = r.Float64()
+		}
+		// Pass 2: Box-Muller radius.
+		for j, u := range zr {
+			zr[j] = math.Sqrt(-2 * math.Log(u))
+		}
+		// Pass 3: Box-Muller angle fused with the radius*angle product,
+		// two angles per call — identical to SumLognormals' pass 3.
+		j := 0
+		for ; j+1 < len(cs); j += 2 {
+			c0, c1 := cos2pi2(cs[j], cs[j+1])
+			zr[j] *= c0
+			zr[j+1] *= c1
+		}
+		if j < len(cs) {
+			zr[j] *= cos2pi(cs[j])
+		}
+		// Pass 4: exponentiate element-wise into dst. The argument
+		// grouping mu + sigma*norm matches Lognormal.Sample bit-for-bit.
+		out := dst[base*k : base*k+e]
+		for d := 0; d < m; d++ {
+			row := zr[d*k : d*k+k : d*k+k]
+			o := out[d*k : d*k+k : d*k+k]
+			for s, norm := range row {
+				o[s] = math.Exp(mu[s] + sigma[s]*norm)
+			}
 		}
 	}
 }

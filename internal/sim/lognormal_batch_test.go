@@ -90,3 +90,74 @@ func TestSumLognormalsZeroAllocs(t *testing.T) {
 		t.Fatalf("SumLognormals allocates %.1f per op, want 0", allocs)
 	}
 }
+
+// TestLognormalDrawsMatchesPerDrawLoop pins the matrix-fill sampler to the
+// plain per-draw loop the engine's sampling pass replaced: every element
+// bit-identical, draw-major stage-minor, and the RNG stream left at the
+// same position.
+func TestLognormalDrawsMatchesPerDrawLoop(t *testing.T) {
+	for _, k := range []int{1, 2, 4, 7} {
+		for _, n := range []int{1, 5, sumBatch / k, sumBatch/k + 3, 1000} {
+			dists := make([]Lognormal, k)
+			mu := make([]float64, k)
+			sigma := make([]float64, k)
+			for s := 0; s < k; s++ {
+				dists[s] = NewLognormal(0.01*float64(s+1), 0.2+0.3*float64(s))
+				mu[s], sigma[s] = dists[s].LogParams()
+			}
+
+			ref := NewRNG(2020).Fork("draws")
+			want := make([]float64, n*k)
+			for i := 0; i < n; i++ {
+				for s := 0; s < k; s++ {
+					want[i*k+s] = dists[s].Sample(ref)
+				}
+			}
+
+			got := make([]float64, n*k)
+			rng := NewRNG(2020).Fork("draws")
+			LognormalDraws(got, mu, sigma, rng)
+
+			for i := range want {
+				if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+					t.Fatalf("k=%d n=%d element %d: got %x want %x", k, n, i,
+						math.Float64bits(got[i]), math.Float64bits(want[i]))
+				}
+			}
+			if a, b := ref.Uint64(), rng.Uint64(); a != b {
+				t.Fatalf("k=%d n=%d: stream position diverged (%x vs %x)", k, n, a, b)
+			}
+		}
+	}
+}
+
+// TestLognormalDrawsZeroStages is a no-op that leaves the stream alone.
+func TestLognormalDrawsZeroStages(t *testing.T) {
+	rng := NewRNG(1)
+	before := *rng
+	LognormalDraws(nil, nil, nil, rng)
+	if *rng != before {
+		t.Fatal("zero-stage call advanced the RNG")
+	}
+}
+
+// TestLognormalDrawsBadLength panics when dst is not a whole number of
+// draws.
+func TestLognormalDrawsBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on dst not a multiple of the stage count")
+		}
+	}()
+	LognormalDraws(make([]float64, 5), make([]float64, 2), make([]float64, 2), NewRNG(1))
+}
+
+// TestSubSeedBytesMatchesSubSeed pins the byte-buffer variant to the
+// string one.
+func TestSubSeedBytesMatchesSubSeed(t *testing.T) {
+	for _, label := range []string{"", "fleet/arrivals/0", "fleet/arrivals/12345"} {
+		if got, want := SubSeedBytes(2020, []byte(label)), SubSeed(2020, label); got != want {
+			t.Fatalf("SubSeedBytes(%q) = %x, want %x", label, got, want)
+		}
+	}
+}

@@ -63,6 +63,20 @@ func SubSeed(seed uint64, label string) uint64 {
 	return seed ^ labelHash(label) ^ 0x9e3779b97f4a7c15
 }
 
+// SubSeedBytes is SubSeed for a label assembled in a byte buffer: it
+// returns the same seed SubSeed(seed, string(label)) would, without
+// requiring the caller to materialize the string. Hot per-epoch loops (the
+// fleet's arrival substreams) build the label in a reused buffer and stay
+// allocation-free.
+func SubSeedBytes(seed uint64, label []byte) uint64 {
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	return seed ^ h ^ 0x9e3779b97f4a7c15
+}
+
 // labelHash is FNV-1a over the label bytes.
 func labelHash(label string) uint64 {
 	h := uint64(14695981039346656037) // FNV-1a offset basis
@@ -71,6 +85,14 @@ func labelHash(label string) uint64 {
 		h *= 1099511628211
 	}
 	return h
+}
+
+// Reseed resets r to the state NewRNG(seed) would produce. It lets hot
+// loops that derive a fresh substream per iteration (the fleet's
+// per-epoch arrival batches) reuse one generator instead of allocating a
+// new RNG each time.
+func (r *RNG) Reseed(seed uint64) {
+	r.state = seed
 }
 
 // Uint64 returns the next 64 random bits.
