@@ -14,7 +14,7 @@ GO ?= go
 # CI always has network and runs it for real.
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: check fmt vet build test exact race staticcheck bench bench-tables bench-compare bench-gate golden golden-update scenario-lint calibrate-smoke
+.PHONY: check fmt vet build test exact race staticcheck bench bench-tables bench-compare bench-gate golden golden-update scenario-lint calibrate-smoke tournament-smoke
 
 check: fmt vet build exact race staticcheck
 
@@ -102,6 +102,16 @@ calibrate-smoke:
 	$(GO) run ./cmd/rhythm -quick -seed 2020 -metrics-out calibrate-smoke.prom run fig2 fig7 > /dev/null
 	$(GO) run ./cmd/rhythm -quick -seed 2020 -jobs 4 calibrate -observed calibrate-smoke.prom
 	rm -f calibrate-smoke.prom
+
+# tournament-smoke runs the policy-zoo head-to-head on 1 and 4 workers
+# and demands byte-identical scorecards (DESIGN.md §15.4): every cell
+# rides its own content-keyed RNG substream, so the worker schedule must
+# never show in the bytes.
+tournament-smoke:
+	$(GO) run ./cmd/rhythm -quick -seed 2020 -jobs 1 run tournament > tournament-smoke-1.out
+	$(GO) run ./cmd/rhythm -quick -seed 2020 -jobs 4 run tournament > tournament-smoke-4.out
+	cmp tournament-smoke-1.out tournament-smoke-4.out
+	rm -f tournament-smoke-1.out tournament-smoke-4.out
 
 # golden-update re-pins GOLDEN.sha256 after an INTENTIONAL output change
 # (new experiment content, a deliberate model change). Never run it to

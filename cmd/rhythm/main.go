@@ -46,6 +46,13 @@
 //	              on-demand fleet experiment (`run fleet`; default
 //	              fleet100). Like scenario, the fleet family is excluded
 //	              from `run all`.
+//	-policy P     candidate policy for the scenario experiment, resolved
+//	              through the controller registry (rhythm, heracles, none,
+//	              predictive, scoring, rack-central, plus anything
+//	              registered via the facade). Overrides the spec's
+//	              `policy` field; unknown names are usage errors listing
+//	              the registry. The tournament experiment (`run
+//	              tournament`) always runs every registered policy.
 //
 // Exit codes: 0 on success, 1 when an experiment or profile fails while
 // running, 2 for usage errors (unknown command or experiment id, missing
@@ -92,11 +99,13 @@ func realMain(argv []string, stdout, rawStderr io.Writer) int {
 	var faultFlags cliflags.Faults
 	var scenFlags cliflags.Scenario
 	var fleetFlags cliflags.Fleet
+	var policyFlags cliflags.Policy
 	common.Register(fs)
 	traceFlags.Register(fs)
 	faultFlags.Register(fs)
 	scenFlags.Register(fs)
 	fleetFlags.Register(fs)
+	policyFlags.Register(fs)
 	fs.Usage = func() { usage(fs, stderr) }
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -108,7 +117,7 @@ func realMain(argv []string, stdout, rawStderr io.Writer) int {
 	}
 	// The shared validation path (internal/cliflags) rejects -jobs < 1
 	// and unknown trace formats with the same messages in every binary.
-	for _, err := range []error{common.Validate(), traceFlags.Validate(), fleetFlags.Validate()} {
+	for _, err := range []error{common.Validate(), traceFlags.Validate(), fleetFlags.Validate(), policyFlags.Validate()} {
 		if err != nil {
 			fmt.Fprintf(stderr, "rhythm: %v\n", err)
 			return 2
@@ -226,7 +235,7 @@ func realMain(argv []string, stdout, rawStderr io.Writer) int {
 
 	ctx := experiments.NewContext(experiments.Options{
 		Quick: common.Quick, Seed: common.Seed, Jobs: common.Jobs, Faults: sched,
-		Scenario: spec, Fleet: fleetFlags.Preset,
+		Scenario: spec, Fleet: fleetFlags.Preset, Policy: policyFlags.Name,
 	})
 	switch args[0] {
 	case "list":

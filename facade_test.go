@@ -137,3 +137,47 @@ func TestPolicySelectorsThroughFacade(t *testing.T) {
 		t.Fatal("action severity order broken")
 	}
 }
+
+// TestPolicyRegistryThroughFacade: the zoo, the named selector, the
+// adapter and custom registration are all reachable from the facade —
+// no rhythm/internal import needed to ship a policy.
+func TestPolicyRegistryThroughFacade(t *testing.T) {
+	names := Policies()
+	if len(names) < 6 {
+		t.Fatalf("Policies() = %v, want the full zoo", names)
+	}
+	for _, want := range []string{"rhythm", "heracles", "none", "predictive", "scoring", "rack-central"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("built-in %q missing from Policies(): %v", want, names)
+		}
+	}
+	if p := PolicyNamed("predictive"); p == nil || p.Name() == "" {
+		t.Fatal("PolicyNamed returned an unusable selector")
+	}
+
+	// A legacy 3-arg policy lifts into the full-context interface and can
+	// be registered and resolved by name, receiving a PolicyInput.
+	ad := AdaptPolicy(NewHeracles())
+	in := PolicyInput{Pod: "frontend", Load: 0.5, Slack: 0.5}
+	if ad.DecideInput(in) != NewHeracles().Decide("frontend", 0.5, 0.5) {
+		t.Fatal("AdaptPolicy changed the decision")
+	}
+	RegisterPolicy("facade-test", func(opts PolicyFactoryOpts) (Policy, error) {
+		return NewHeracles(), nil
+	})
+	found := false
+	for _, n := range Policies() {
+		if n == "facade-test" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("registered policy missing from Policies(): %v", Policies())
+	}
+}

@@ -1,6 +1,6 @@
 // Package cliflags centralizes the flag definitions the rhythm binaries
 // share — -seed, -jobs, -quick, -trace-out, -trace-format, -metrics-out,
-// -faults and -scenario — so cmd/rhythm, cmd/rhythm-bench and
+// -faults, -scenario and -policy — so cmd/rhythm, cmd/rhythm-bench and
 // cmd/rhythm-trace default and validate them through one path. Each
 // binary registers only the groups it uses; the defaults and the error
 // messages are identical everywhere, which the cross-binary tests pin.
@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"rhythm/internal/controller"
 	"rhythm/internal/faults"
 	"rhythm/internal/fleet"
 	"rhythm/internal/workload"
@@ -146,6 +147,31 @@ func (f *Fleet) Validate() error {
 		return fmt.Errorf("-fleet: %w", err)
 	}
 	return nil
+}
+
+// Policy is the -policy selector: empty (the scenario spec's `policy`
+// field, else rhythm), or a registered policy name from the controller
+// registry.
+type Policy struct {
+	Name string
+}
+
+// Register binds -policy.
+func (p *Policy) Register(fs *flag.FlagSet) {
+	fs.StringVar(&p.Name, "policy", "",
+		"candidate policy for the scenario experiment ("+
+			strings.Join(controller.Names(), ", ")+"; default the spec's policy, else rhythm)")
+}
+
+// Validate rejects unregistered policy names (empty means the default and
+// is valid). The message carries the full registered list, so a typo is
+// a one-round-trip fix.
+func (p *Policy) Validate() error {
+	if p.Name == "" || controller.Registered(p.Name) {
+		return nil
+	}
+	return fmt.Errorf("-policy: unknown policy %q (registered: %s)",
+		p.Name, strings.Join(controller.Names(), ", "))
 }
 
 // Calibrate is the flag group of the calibrate subcommand: the observed

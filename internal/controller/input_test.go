@@ -1,0 +1,135 @@
+package controller
+
+import (
+	"math"
+	"testing"
+)
+
+// plainPolicy is a legacy 3-argument policy with no optional
+// capabilities — the worst case the adapter must carry.
+type plainPolicy struct{}
+
+func (plainPolicy) Decide(_ string, load, slack float64) Action {
+	if slack < 0.2 || load > 0.9 {
+		return SuspendBE
+	}
+	return AllowBEGrowth
+}
+func (plainPolicy) Name() string { return "plain" }
+
+// adapterGrid is the differential input grid: every Algorithm 2 branch
+// plus the NaN guard, across known and unknown pods.
+func adapterGrid() []PolicyInput {
+	loads := []float64{0, 0.4, 0.86, 1.2, math.NaN()}
+	slacks := []float64{-0.2, 0, 0.03, 0.07, 0.15, 1, math.NaN()}
+	var grid []PolicyInput
+	for _, pod := range []string{"frontend", "unknown-pod"} {
+		for _, load := range loads {
+			for _, slack := range slacks {
+				grid = append(grid, PolicyInput{
+					Pod: pod, Load: load, Slack: slack,
+					P99: 0.2, Pressure: 1.3, Degraded: 1, Now: 42,
+				})
+			}
+		}
+	}
+	return grid
+}
+
+// TestAdapterMatchesDecide is the api_redesign differential test: for
+// every existing policy, the adapter-wrapped DecideInput/ExplainInput
+// must produce the identical action and explanation the direct 3-argument
+// calls produce, over a grid covering every Algorithm 2 branch.
+func TestAdapterMatchesDecide(t *testing.T) {
+	rhythm, err := NewRhythm(map[string]Thresholds{
+		"frontend": {Loadlimit: 0.8, Slacklimit: 0.12},
+		"cache":    {Loadlimit: 1.1, Slacklimit: 0.05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	policies := []Policy{rhythm, NewHeracles(), Disabled{}, plainPolicy{}}
+	for _, pol := range policies {
+		ad := AsInput(pol)
+		if ad.Name() != pol.Name() {
+			t.Fatalf("%s: adapter renamed the policy to %q", pol.Name(), ad.Name())
+		}
+		for _, in := range adapterGrid() {
+			want := pol.Decide(in.Pod, in.Load, in.Slack)
+			if got := ad.DecideInput(in); got != want {
+				t.Fatalf("%s: DecideInput(%+v) = %v, Decide = %v", pol.Name(), in, got, want)
+			}
+			if got := ad.Decide(in.Pod, in.Load, in.Slack); got != want {
+				t.Fatalf("%s: adapter Decide diverges: %v vs %v", pol.Name(), got, want)
+			}
+			ex, isInputEx := ad.(InputExplainer)
+			if !isInputEx {
+				t.Fatalf("%s: adapter must always be an InputExplainer", pol.Name())
+			}
+			gotAct, gotReason := ex.ExplainInput(in)
+			wantReason := ""
+			wantAct := want
+			if direct, ok := pol.(Explainer); ok {
+				wantAct, wantReason = direct.Explain(in.Pod, in.Load, in.Slack)
+			}
+			if gotAct != wantAct || gotReason != wantReason {
+				t.Fatalf("%s: ExplainInput(%+v) = (%v, %q), want (%v, %q)",
+					pol.Name(), in, gotAct, gotReason, wantAct, wantReason)
+			}
+		}
+	}
+}
+
+// TestAsInputPassthrough: InputPolicies are returned unchanged (no
+// double wrapping) and nil stays nil.
+func TestAsInputPassthrough(t *testing.T) {
+	if AsInput(nil) != nil {
+		t.Fatal("AsInput(nil) must be nil")
+	}
+	p := NewPredictive(nil)
+	if got := AsInput(p); got != InputPolicy(p) {
+		t.Fatalf("AsInput re-wrapped an InputPolicy: %T", got)
+	}
+	wrapped := AsInput(plainPolicy{})
+	if got := AsInput(wrapped); got != wrapped {
+		t.Fatalf("AsInput re-wrapped an adapter: %T", got)
+	}
+}
+
+// TestAdapterForwardsSlacklimit: the SlacklimitReporter capability
+// crosses the adapter; policies without it report 0 ("unknown"), which
+// the engine maps to its conservative default.
+func TestAdapterForwardsSlacklimit(t *testing.T) {
+	rhythm, err := NewRhythm(map[string]Thresholds{
+		"frontend": {Loadlimit: 0.8, Slacklimit: 0.12},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, ok := AsInput(rhythm).(SlacklimitReporter)
+	if !ok {
+		t.Fatal("adapter over Rhythm lost SlacklimitReporter")
+	}
+	if got := sl.SlacklimitFor("frontend"); got != 0.12 {
+		t.Fatalf("SlacklimitFor(frontend) = %v, want 0.12", got)
+	}
+	sl, ok = AsInput(plainPolicy{}).(SlacklimitReporter)
+	if !ok {
+		t.Fatal("adapter must implement SlacklimitReporter uniformly")
+	}
+	if got := sl.SlacklimitFor("frontend"); got != 0 {
+		t.Fatalf("non-reporter policy leaked a slacklimit %v", got)
+	}
+}
+
+// TestAdapterUnwrap: the wrapped policy stays reachable.
+func TestAdapterUnwrap(t *testing.T) {
+	orig := plainPolicy{}
+	un, ok := AsInput(orig).(interface{ Unwrap() Policy })
+	if !ok {
+		t.Fatal("adapter does not expose Unwrap")
+	}
+	if un.Unwrap() != Policy(orig) {
+		t.Fatal("Unwrap lost the original policy")
+	}
+}

@@ -1,0 +1,102 @@
+package controller
+
+import (
+	"strings"
+	"testing"
+)
+
+func registryOpts() FactoryOpts {
+	return FactoryOpts{
+		Thresholds: map[string]Thresholds{
+			"frontend": {Loadlimit: 0.8, Slacklimit: 0.12},
+			"cache":    {Loadlimit: 1.1, Slacklimit: 0.05},
+		},
+		SLA: 0.5,
+	}
+}
+
+// TestRegistryRoundTrip: every registered name constructs a working
+// policy with a non-empty display name, fresh per call (stateful
+// policies must not share history across runs).
+func TestRegistryRoundTrip(t *testing.T) {
+	names := Names()
+	if len(names) < 6 {
+		t.Fatalf("registry too small: %v", names)
+	}
+	for _, want := range []string{"rhythm", "heracles", "none", "predictive", "scoring", "rack-central"} {
+		if !Registered(want) {
+			t.Fatalf("built-in policy %q not registered (have %v)", want, names)
+		}
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+	for _, name := range names {
+		a, err := New(name, registryOpts())
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if a.Name() == "" {
+			t.Fatalf("New(%q) returned a nameless policy", name)
+		}
+		b, err := New(name, registryOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Pointer-typed policies must be fresh instances; value types
+		// (Disabled) are stateless and exempt by construction.
+		if _, stateless := a.(Disabled); !stateless && a == b {
+			t.Fatalf("New(%q) returned a shared instance", name)
+		}
+	}
+}
+
+// TestRegistryUnknownName: the error carries the full registered list so
+// CLI and spec validation can surface it verbatim.
+func TestRegistryUnknownName(t *testing.T) {
+	_, err := New("nope", registryOpts())
+	if err == nil {
+		t.Fatal("unknown name constructed")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list registered policy %q", err, name)
+		}
+	}
+	if Registered("nope") {
+		t.Fatal("Registered(nope)")
+	}
+}
+
+// TestRegisterRejectsDuplicatesAndEmpty: both are init-time programmer
+// errors and must panic rather than shadow an existing policy.
+func TestRegisterRejectsDuplicatesAndEmpty(t *testing.T) {
+	mustPanic := func(name string, f Factory) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("Register(%q) did not panic", name)
+			}
+		}()
+		Register(name, f)
+	}
+	mustPanic("rhythm", func(FactoryOpts) (Policy, error) { return Disabled{}, nil })
+	mustPanic("", func(FactoryOpts) (Policy, error) { return Disabled{}, nil })
+	mustPanic("nilfactory", nil)
+}
+
+// TestRhythmFactoryRequiresThresholds: "rhythm" without per-Servpod
+// thresholds must error — running it uniform would silently benchmark a
+// different policy.
+func TestRhythmFactoryRequiresThresholds(t *testing.T) {
+	if _, err := New("rhythm", FactoryOpts{}); err == nil {
+		t.Fatal("rhythm constructed without thresholds")
+	}
+	for _, name := range []string{"predictive", "scoring", "rack-central", "heracles", "none"} {
+		if _, err := New(name, FactoryOpts{}); err != nil {
+			t.Fatalf("%s must fall back to uniform thresholds, got %v", name, err)
+		}
+	}
+}

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"rhythm/internal/bejobs"
@@ -118,37 +119,54 @@ type RunConfig struct {
 	// samples in the run stats (per-class SLO accounting, profiling).
 	CollectSamples bool
 	// Policy selects who controls the run: nil or PolicyRhythm uses the
-	// system's own derived per-Servpod policy, PolicyHeracles the §5.1
-	// uniform baseline, PolicyNone no BE jobs at all (solo reference);
-	// any other controller.Policy is used as given (threshold sweeps,
-	// ablations).
+	// system's own derived per-Servpod policy, PolicyNone no BE jobs at
+	// all (solo reference), and any other PolicyNamed selector (including
+	// PolicyHeracles) constructs a fresh instance from the controller
+	// registry with this system's thresholds and SLA. Any other
+	// controller.Policy is used as given (threshold sweeps, ablations).
 	Policy controller.Policy
 	// Faults injects a deterministic fault schedule (internal/faults);
 	// nil leaves the run fault-free and bit-frozen.
 	Faults *faults.Schedule
 }
 
-// builtinPolicy marks the RunConfig.Policy sentinels. Its Decide is never
-// consulted: Run resolves sentinels to real policies before the engine
-// sees them (the most conservative action is returned just in case one is
-// passed to an engine directly).
+// builtinPolicy marks the RunConfig.Policy name selectors (PolicyNamed).
+// Its Decide is never consulted: Run resolves selectors through the
+// controller registry before the engine sees them (the most conservative
+// action is returned just in case one is passed to an engine directly).
 type builtinPolicy string
 
-// Decide always suspends; sentinels never reach an engine through Run.
+// Decide always suspends; selectors never reach an engine through Run.
 func (builtinPolicy) Decide(string, float64, float64) controller.Action {
 	return controller.SuspendBE
 }
 
-// Name identifies the sentinel.
+// Name identifies the selector.
 func (b builtinPolicy) Name() string { return string(b) }
 
-// The RunConfig.Policy selectors. PolicyRhythm (or nil) runs the system's
-// derived per-Servpod policy, PolicyHeracles the uniform baseline,
-// PolicyNone the LC service alone with no BE jobs.
+// policyPrefix distinguishes a selector's string from a registry name; it
+// predates the registry (the original sentinels were "policy-rhythm" etc.)
+// and is kept so selector values remain stable across versions.
+const policyPrefix = "policy-"
+
+// PolicyNamed returns a RunConfig.Policy selector for a registered policy
+// name (controller.Names() lists them). The name resolves at Run time:
+// "rhythm" to the system's own derived per-Servpod policy, "none" to a
+// solo run with no BE jobs, and everything else through
+// controller.New(name, ...) with the system's thresholds and SLA — a
+// fresh instance per run, so stateful policies never share history.
+// Unknown names error at Run with the registered list.
+func PolicyNamed(name string) controller.Policy {
+	return builtinPolicy(policyPrefix + name)
+}
+
+// The canonical RunConfig.Policy selectors. PolicyRhythm (or nil) runs
+// the system's derived per-Servpod policy, PolicyHeracles the uniform
+// baseline, PolicyNone the LC service alone with no BE jobs.
 var (
-	PolicyRhythm   controller.Policy = builtinPolicy("policy-rhythm")
-	PolicyHeracles controller.Policy = builtinPolicy("policy-heracles")
-	PolicyNone     controller.Policy = builtinPolicy("policy-none")
+	PolicyRhythm   = PolicyNamed("rhythm")
+	PolicyHeracles = PolicyNamed("heracles")
+	PolicyNone     = PolicyNamed("none")
 )
 
 // Run executes one co-location run of the deployed system, fully described
@@ -160,13 +178,26 @@ var (
 func (s *System) Run(cfg RunConfig) (*engine.RunStats, error) {
 	pol := cfg.Policy
 	betypes := cfg.BETypes
-	switch cfg.Policy {
-	case nil, PolicyRhythm:
+	if cfg.Policy == nil {
 		pol = s.Policy
-	case PolicyHeracles:
-		pol = controller.NewHeracles()
-	case PolicyNone:
-		pol, betypes = nil, nil
+	} else if b, ok := cfg.Policy.(builtinPolicy); ok {
+		switch name := strings.TrimPrefix(string(b), policyPrefix); name {
+		case "rhythm":
+			// The system's own calibrated instance, not a registry
+			// reconstruction: byte-for-byte the pre-registry behavior.
+			pol = s.Policy
+		case "none":
+			pol, betypes = nil, nil
+		default:
+			p, err := controller.New(name, controller.FactoryOpts{
+				Thresholds: s.Thresholds,
+				SLA:        s.SLA,
+			})
+			if err != nil {
+				return nil, err
+			}
+			pol = p
+		}
 	}
 	e, err := engine.New(engine.Config{
 		Service:        s.Service,

@@ -2,6 +2,7 @@ package core
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -88,6 +89,52 @@ func TestUnifiedRunMatchesWrappers(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got, gotWrap) {
 		t.Fatal("RunWith diverges from Run with a custom policy")
+	}
+}
+
+// TestPolicyNamedResolution pins the registry path through Run: a
+// PolicyNamed selector resolves against the deployed system's thresholds
+// at run time, and unknown names fail fast listing the registry.
+func TestPolicyNamedResolution(t *testing.T) {
+	sys := quickDeploy(t)
+	cfg := RunConfig{
+		Pattern:  loadgen.Constant(0.6),
+		BETypes:  []bejobs.Type{bejobs.Wordcount},
+		Duration: 30 * time.Second,
+		Warmup:   6 * time.Second,
+		Seed:     7,
+	}
+
+	cfg.Policy = PolicyNamed("predictive")
+	st, err := sys.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Policy != "Predictive" {
+		t.Fatalf("resolved policy %q, want Predictive", st.Policy)
+	}
+
+	// PolicyNamed("rhythm") is the system's own calibrated instance — the
+	// same bytes as the PolicyRhythm selector.
+	cfg.Policy = PolicyNamed("rhythm")
+	viaName, err := sys.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Policy = PolicyRhythm
+	viaSel, err := sys.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(viaName, viaSel) {
+		t.Fatal(`PolicyNamed("rhythm") diverges from PolicyRhythm`)
+	}
+
+	cfg.Policy = PolicyNamed("no-such-policy")
+	if _, err := sys.Run(cfg); err == nil {
+		t.Fatal("unknown policy name accepted")
+	} else if !strings.Contains(err.Error(), "predictive") {
+		t.Fatalf("error does not list the registry: %v", err)
 	}
 }
 

@@ -489,6 +489,12 @@ type Engine struct {
 	rng       *sim.RNG
 	stats     *RunStats
 
+	// pol is cfg.Policy lifted to the full-context interface once at New
+	// time (controller.AsInput); nil when the run has no policy. The
+	// control tick only ever talks to pol, so legacy 3-argument policies
+	// and registry InputPolicies take the identical code path.
+	pol controller.InputPolicy
+
 	// refTick switches tick to the pre-SoA scalar reference
 	// implementation (tickReference). Tests set it to pin the SoA passes
 	// bitwise-equal to the original single-loop tick; it is never set in
@@ -561,6 +567,7 @@ func New(cfg Config) (*Engine, error) {
 			Series: make(map[string]*metrics.Series),
 		},
 	}
+	e.pol = controller.AsInput(cfg.Policy)
 	if cfg.Policy != nil {
 		e.stats.Policy = cfg.Policy.Name()
 	} else {
@@ -1366,7 +1373,23 @@ func (e *Engine) controlTick(now sim.Time, load float64) {
 			// per-pod latency dashboards.
 			p.obsSojournP99.Observe(math.Exp(e.soa.sjMu[p.idx] + z99*e.soa.sjSigma[p.idx]))
 		}
+		// in is the pod's full measured state. Degraded carries the count
+		// of consecutive preceding blind periods (captured before the
+		// healthy-path reset below), Pressure the machine's smoothed
+		// interference inflation — the inputs the zoo policies forecast
+		// and score from.
+		in := controller.PolicyInput{
+			Pod:      p.comp.Name,
+			Load:     load,
+			Slack:    slack,
+			P99:      p99,
+			Pressure: e.soa.inflate[p.idx],
+			Degraded: p.degraded,
+			Now:      now,
+		}
+		traced := e.obsScope.Enabled()
 		var act controller.Action
+		reason := "no BE policy"
 		switch {
 		case !hasBE:
 			act = controller.SuspendBE
@@ -1377,23 +1400,26 @@ func (e *Engine) controlTick(now sim.Time, load float64) {
 			// CutBE), and recover the moment measurements return.
 			p.degraded++
 			act = controller.Degraded(p.degraded)
+			if traced {
+				reason = controller.DegradedReason(p.degraded, degradedCause)
+			}
+		case traced:
+			// Under tracing, ExplainInput replaces DecideInput rather than
+			// augmenting it: explain stays in lockstep with decide
+			// (TestExplainMatchesDecide pins it), and stateful policies
+			// must observe each input exactly once.
+			p.degraded = 0
+			if ex, ok := e.pol.(controller.InputExplainer); ok {
+				act, reason = ex.ExplainInput(in)
+			} else {
+				act, reason = e.pol.DecideInput(in), ""
+			}
 		default:
 			p.degraded = 0
-			act = e.cfg.Policy.Decide(p.comp.Name, load, slack)
+			act = e.pol.DecideInput(in)
 		}
 		p.lastAction = act
-		if e.obsScope.Enabled() {
-			reason := "no BE policy"
-			switch {
-			case hasBE && degraded:
-				reason = controller.DegradedReason(p.degraded, degradedCause)
-			case hasBE:
-				if ex, ok := e.cfg.Policy.(controller.Explainer); ok {
-					_, reason = ex.Explain(p.comp.Name, load, slack)
-				} else {
-					reason = ""
-				}
-			}
+		if traced {
 			e.obsScope.Decision(int64(now), p.comp.Name, act.String(), load, slack, p99, reason)
 		}
 		e.obsDecisions[act].Inc()
@@ -1450,7 +1476,7 @@ func (e *Engine) apply(p *podRuntime, act controller.Action, now sim.Time, load,
 		// their allocated resources"); cut harder the deeper the slack
 		// has fallen into the band, so a fast-rising load sheds BE
 		// pressure before it violates.
-		steps := 1 + int(3*sim.Clamp(1-2*slack/maxSlacklimit(e.cfg.Policy, p.comp.Name), 0, 1))
+		steps := 1 + int(3*sim.Clamp(1-2*slack/maxSlacklimit(e.pol, p.comp.Name), 0, 1))
 		for _, in := range p.instances {
 			for i := 0; i < steps; i++ {
 				p.agent.CutBE(in.ID)
@@ -1666,16 +1692,13 @@ func minf(a, b float64) float64 {
 	return b
 }
 
-// slackLimiter is implemented by policies that expose their per-pod
-// slacklimit; the engine scales CutBE severity with it.
-type slackLimiter interface {
-	SlacklimitFor(pod string) float64
-}
-
 // maxSlacklimit returns the pod's slacklimit under the policy, defaulting
-// to Heracles' 0.10 when the policy does not expose one.
+// to Heracles' 0.10 when the policy does not expose one. The capability
+// interface is controller.SlacklimitReporter, which the AsInput adapter
+// forwards, so third-party registry policies get correct CutBE step
+// sizing without the engine knowing any concrete type.
 func maxSlacklimit(pol controller.Policy, pod string) float64 {
-	if sl, ok := pol.(slackLimiter); ok {
+	if sl, ok := pol.(controller.SlacklimitReporter); ok {
 		if v := sl.SlacklimitFor(pod); v > 0 {
 			return v
 		}

@@ -115,6 +115,14 @@ type Options struct {
 	// runs (the CLI's -fleet flag); empty selects fleet.DefaultPreset.
 	// Like Scenario, the fleet family is excluded from IDs()/`run all`.
 	Fleet string
+	// Policy names the registered candidate policy the on-demand
+	// "scenario" experiment pits against Heracles (the CLI's -policy
+	// flag). Empty defers to the spec's `policy` field, then to "rhythm"
+	// — the default keeps the scenario output byte-identical to the
+	// pre-registry tables. Names resolve through the controller registry
+	// (controller.Names()); the tournament experiment ignores this and
+	// always runs the whole registry.
+	Policy string
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"rhythm/internal/controller"
+	"rhythm/internal/sim"
+)
+
+// TestTournamentDeterministicAcrossJobs pins the tournament's contract:
+// the policy × workload scorecard must be byte-identical on one worker
+// and on four, and across repeats — every cell runs on its own
+// content-keyed RNG substream, never the worker schedule.
+func TestTournamentDeterministicAcrossJobs(t *testing.T) {
+	if testing.Short() || sim.RaceEnabled {
+		t.Skip("a full policy-zoo sweep is too heavy for -short/-race")
+	}
+	render := func(jobs int) string {
+		ctx := NewContext(Options{Quick: true, Seed: 2020, Jobs: jobs})
+		tab, err := ctx.Run("tournament")
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		return tab.String()
+	}
+	serial := render(1)
+	if got := render(4); got != serial {
+		t.Errorf("jobs=4 scorecard differs from serial\nserial:\n%s\njobs=4:\n%s", serial, got)
+	}
+	if got := render(1); got != serial {
+		t.Error("repeated serial runs diverge")
+	}
+	// Every registered policy must appear in the scorecard: the zoo grows
+	// by registration alone, never by editing the tournament.
+	for _, pol := range controller.Names() {
+		if !strings.Contains(serial, pol) {
+			t.Errorf("scorecard missing registered policy %q:\n%s", pol, serial)
+		}
+	}
+	for _, wl := range []string{"steady-65", "diurnal", "storm"} {
+		if !strings.Contains(serial, wl) {
+			t.Errorf("scorecard missing workload %q:\n%s", wl, serial)
+		}
+	}
+}
+
+// TestTournamentExcludedFromRunAll: registered and resolvable by ID, but
+// kept out of the paper registry so `run all` and the golden stdout are
+// untouched.
+func TestTournamentExcludedFromRunAll(t *testing.T) {
+	if _, err := Get("tournament"); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range IDs() {
+		if id == "tournament" {
+			t.Fatal("tournament leaked into IDs()")
+		}
+	}
+	found := false
+	for _, id := range ScenarioIDs() {
+		if id == "tournament" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("tournament missing from ScenarioIDs(): %v", ScenarioIDs())
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"rhythm/internal/bejobs"
+	"rhythm/internal/controller"
 	"rhythm/internal/loadgen"
 	"rhythm/internal/queueing"
 	"rhythm/internal/replay"
@@ -199,6 +200,12 @@ type RunSpec struct {
 	// BEJobs are the best-effort job types co-located with the service,
 	// by Table 1 name ("wordcount", "CPU-stress", ...).
 	BEJobs []string `json:"be_jobs,omitempty"`
+	// Policy names the registered controller policy the scenario
+	// experiment runs as the candidate against the Heracles baseline
+	// (controller.Names(): "rhythm", "heracles", "none", "predictive",
+	// "scoring", "rack-central", ...). Empty means "rhythm". The CLI's
+	// -policy flag overrides it.
+	Policy string `json:"policy,omitempty"`
 }
 
 // ClientSpec is one client class: its share of the offered load, its
@@ -538,6 +545,10 @@ func (s *Spec) validateRun(fail failFunc) {
 		if _, err := bejobs.Lookup(bejobs.Type(name)); err != nil {
 			fail(fmt.Sprintf("run.be_jobs[%d]", i), "%v", err)
 		}
+	}
+	if r.Policy != "" && !controller.Registered(r.Policy) {
+		fail("run.policy", "unknown policy %q (registered: %s)",
+			r.Policy, strings.Join(controller.Names(), ", "))
 	}
 }
 

@@ -97,8 +97,26 @@ type (
 	SlackOptions = profiler.SlackOptions
 	// Policy decides per-Servpod actions each control period
 	// (RunConfig.Policy accepts one, or the PolicyRhythm / PolicyHeracles /
-	// PolicyNone selectors).
+	// PolicyNone / PolicyNamed selectors).
 	Policy = controller.Policy
+	// PolicyInput is one Servpod's full measured state at a control tick:
+	// load, slack, seen p99, interference pressure, degraded count and
+	// virtual time (DESIGN.md §15.1).
+	PolicyInput = controller.PolicyInput
+	// InputPolicy is the full-context policy interface; AdaptPolicy lifts
+	// a legacy 3-argument Policy into it.
+	InputPolicy = controller.InputPolicy
+	// PolicyFactory constructs a fresh policy instance per run for
+	// RegisterPolicy; it receives the deployed system's thresholds and
+	// SLA.
+	PolicyFactory = controller.Factory
+	// PolicyFactoryOpts carries the deployment-derived inputs handed to a
+	// PolicyFactory.
+	PolicyFactoryOpts = controller.FactoryOpts
+	// SlacklimitReporter is the capability interface the engine uses to
+	// scale CutBE severity; implement it on custom policies to control BE
+	// step sizing.
+	SlacklimitReporter = controller.SlacklimitReporter
 	// Heracles is the §5.1 uniform-threshold baseline controller.
 	Heracles = controller.Heracles
 	// FaultSchedule is a validated, deterministic fault-injection
@@ -204,6 +222,30 @@ const (
 // NewHeracles returns the uniform-threshold baseline controller with the
 // paper's default thresholds (tune via its Uniform field).
 func NewHeracles() *Heracles { return controller.NewHeracles() }
+
+// PolicyNamed returns a RunConfig.Policy selector for a registered policy
+// name; it resolves through the policy registry at Run time against the
+// deployed system's thresholds and SLA. Policies lists the valid names;
+// unknown names error at Run.
+func PolicyNamed(name string) Policy { return core.PolicyNamed(name) }
+
+// Policies lists every registered policy name, sorted: the built-in zoo
+// (rhythm, heracles, none, predictive, scoring, rack-central) plus
+// anything added via RegisterPolicy.
+func Policies() []string { return controller.Names() }
+
+// RegisterPolicy adds a custom policy to the registry under name, making
+// it resolvable by PolicyNamed, the `-policy` CLI flag, the scenario
+// spec's `policy` field and the tournament experiment. The factory is
+// invoked once per run, so stateful policies never share history across
+// runs. Registering a duplicate or empty name panics.
+func RegisterPolicy(name string, factory PolicyFactory) { controller.Register(name, factory) }
+
+// AdaptPolicy lifts a legacy 3-argument Policy into the full-context
+// InputPolicy interface, forwarding Explainer and SlacklimitReporter
+// capabilities; policies already implementing InputPolicy pass through
+// unchanged.
+func AdaptPolicy(p Policy) InputPolicy { return controller.AsInput(p) }
 
 // FaultPresets lists the canned fault-storm names accepted by
 // FaultPreset and the CLI's -faults flag.
